@@ -1,0 +1,86 @@
+// Command wcqbench regenerates the tables behind every figure of the
+// wCQ paper's evaluation (SPAA '22, §6, Figs. 10-12).
+//
+// Usage:
+//
+//	wcqbench -figure 11b                 # one figure
+//	wcqbench -figure all -ops 1000000    # the full evaluation
+//	wcqbench -figure 10a -queues wCQ,SCQ,LCRQ
+//	wcqbench -figure all -record EXPERIMENTS.md
+//
+// Absolute numbers depend on the host; the reproduction target is the
+// SHAPE of each figure (who wins, by what factor, where lines cross).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "figure id (10a,10b,11a,11b,11c,12a,12b,12c) or 'all'")
+		ops     = flag.Int("ops", 200_000, "operations per measurement point (paper: 10,000,000)")
+		reps    = flag.Int("reps", 3, "repetitions per point (paper: 10)")
+		maxThr  = flag.Int("maxthreads", 0, "truncate the thread sweep (0 = full paper sweep)")
+		queuesF = flag.String("queues", "", "comma-separated queue subset (default: figure's full line-up)")
+		record  = flag.String("record", "", "append results as a markdown section to this file")
+	)
+	flag.Parse()
+
+	opts := harness.RunOpts{Ops: *ops, Reps: *reps, MaxThreads: *maxThr}
+	if *queuesF != "" {
+		opts.Queues = strings.Split(*queuesF, ",")
+	}
+
+	var figs []harness.Figure
+	if *figure == "all" {
+		figs = harness.Figures()
+	} else {
+		f, err := harness.FigureByID(*figure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		figs = []harness.Figure{f}
+	}
+
+	var md strings.Builder
+	fmt.Fprintf(&md, "\n## Run %s (GOMAXPROCS=%d, %d CPU)\n\n",
+		time.Now().Format(time.RFC3339), runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Fprintf(&md, "ops/point=%d reps=%d\n\n", *ops, *reps)
+
+	for _, f := range figs {
+		start := time.Now()
+		pts := f.Run(opts)
+		f.Render(os.Stdout, pts, opts)
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		if *record != "" {
+			md.WriteString("### Figure " + f.ID + ": " + f.Title + "\n\n```\n")
+			var sb strings.Builder
+			f.Render(&sb, pts, opts)
+			md.WriteString(sb.String())
+			md.WriteString("```\n\n")
+		}
+	}
+
+	if *record != "" {
+		fh, err := os.OpenFile(*record, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		if _, err := fh.WriteString(md.String()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded to %s\n", *record)
+	}
+}

@@ -1,0 +1,73 @@
+// Command wcqstress runs the MPMC correctness checker against any
+// queue in the registry for an arbitrary duration — the long-running
+// validation companion to the unit suite.
+//
+//	wcqstress -queue wCQ -producers 4 -consumers 4 -rounds 20
+//	wcqstress -queue all -slowpath            # force wCQ's helped paths
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/atomicx"
+	"repro/internal/checker"
+	"repro/internal/queues"
+	"repro/internal/wcq"
+)
+
+func main() {
+	var (
+		queue     = flag.String("queue", "wCQ", "queue name or 'all'")
+		producers = flag.Int("producers", 4, "producer goroutines")
+		consumers = flag.Int("consumers", 4, "consumer goroutines")
+		per       = flag.Int("per", 20000, "values per producer per round")
+		rounds    = flag.Int("rounds", 5, "checker rounds per queue")
+		capacity  = flag.Uint64("capacity", 256, "ring capacity (bounded queues)")
+		emulate   = flag.Bool("emulate", false, "CAS-emulated F&A (PowerPC mode)")
+		slowpath  = flag.Bool("slowpath", false, "wCQ: patience 1 + eager helping")
+	)
+	flag.Parse()
+
+	names := []string{*queue}
+	if *queue == "all" {
+		names = queues.RealQueues()
+	}
+	cfg := queues.Config{Capacity: *capacity, MaxThreads: *producers + *consumers + 2}
+	if *emulate {
+		cfg.Mode = atomicx.EmulatedFAA
+	}
+	if *slowpath {
+		cfg.WCQOptions = &wcq.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	}
+
+	failed := false
+	for _, name := range names {
+		for r := 0; r < *rounds; r++ {
+			q, err := queues.New(name, cfg)
+			if err != nil {
+				fmt.Printf("%-8s SKIP (%v)\n", name, err)
+				break
+			}
+			start := time.Now()
+			err = checker.Run(q, checker.Config{
+				Producers:   *producers,
+				Consumers:   *consumers,
+				PerProducer: *per,
+				Capacity:    int(*capacity),
+			})
+			if err != nil {
+				fmt.Printf("%-8s round %d FAIL: %v\n", name, r, err)
+				failed = true
+				break
+			}
+			fmt.Printf("%-8s round %d ok (%d values, %.2fs)\n",
+				name, r, *producers**per, time.Since(start).Seconds())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

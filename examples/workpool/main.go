@@ -1,0 +1,116 @@
+// Workpool: the DPDK/SPDK-style fixed buffer pool from the paper's
+// introduction, built on a wait-free index Ring (the aq/fq pattern of
+// Figure 2).
+//
+// A pool of fixed-size "frame" buffers is shared by several goroutines
+// that allocate frames, fill them, hand them to a processing stage
+// through a second ring, and recycle them — with zero heap allocation
+// in steady state and wait-free progress for every participant, which
+// is why rings like this sit at the heart of packet I/O frameworks.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	wfqueue "repro"
+)
+
+const (
+	frames    = 256 // pool size
+	frameSize = 1500
+	packets   = 50_000
+	rxThreads = 2
+	txThreads = 2
+)
+
+func main() {
+	// Backing store for all frames, allocated once.
+	buffers := make([][frameSize]byte, frames)
+
+	// freeq hands out free frame indices; workq carries filled frames
+	// to the TX stage. Both are wait-free rings.
+	freeq, err := wfqueue.NewRing(frames, rxThreads+txThreads, true)
+	if err != nil {
+		panic(err)
+	}
+	workq, err := wfqueue.NewRing(frames, rxThreads+txThreads, false)
+	if err != nil {
+		panic(err)
+	}
+
+	var produced, transmitted, bytes atomic.Int64
+	var wg sync.WaitGroup
+
+	for r := 0; r < rxThreads; r++ {
+		fh, err1 := freeq.Handle()
+		wh, err2 := workq.Handle()
+		if err1 != nil || err2 != nil {
+			panic("handle registration failed")
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for produced.Add(1) <= packets {
+				// Allocate a frame (wait-free dequeue from the pool).
+				var idx uint64
+				for {
+					var ok bool
+					if idx, ok = fh.Dequeue(); ok {
+						break
+					}
+					runtime.Gosched() // pool exhausted: TX will recycle
+				}
+				// "Receive" a packet into the frame.
+				buffers[idx][0] = byte(r)
+				buffers[idx][1] = byte(idx)
+				// Hand it to the TX stage.
+				wh.Enqueue(idx)
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	for t := 0; t < txThreads; t++ {
+		fh, err1 := freeq.Handle()
+		wh, err2 := workq.Handle()
+		if err1 != nil || err2 != nil {
+			panic("handle registration failed")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx, ok := wh.Dequeue()
+				if !ok {
+					select {
+					case <-done:
+						return
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				// "Transmit" and recycle the frame.
+				bytes.Add(int64(frameSize))
+				transmitted.Add(1)
+				fh.Enqueue(idx)
+			}
+		}()
+	}
+
+	// Wait for RX to finish, then drain and stop TX.
+	for produced.Load() <= packets {
+		runtime.Gosched()
+	}
+	for transmitted.Load() < packets {
+		runtime.Gosched()
+	}
+	close(done)
+	wg.Wait()
+
+	fmt.Printf("transmitted %d frames (%d MB) through a %d-frame pool, zero steady-state allocation\n",
+		transmitted.Load(), bytes.Load()>>20, frames)
+}

@@ -1,0 +1,96 @@
+package atomicx
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterAddReturnsOld(t *testing.T) {
+	for _, mode := range []Mode{NativeFAA, EmulatedFAA} {
+		var c Counter
+		c.Init(mode, 10)
+		if got := c.Add(1); got != 10 {
+			t.Errorf("%v: Add returned %d, want 10 (old value)", mode, got)
+		}
+		if got := c.Load(); got != 11 {
+			t.Errorf("%v: Load = %d, want 11", mode, got)
+		}
+	}
+}
+
+func TestCounterConcurrentAdd(t *testing.T) {
+	const goroutines = 8
+	const perG = 10000
+	for _, mode := range []Mode{NativeFAA, EmulatedFAA} {
+		var c Counter
+		c.Init(mode, 0)
+		seen := make([]map[uint64]bool, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			seen[g] = make(map[uint64]bool, perG)
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					seen[g][c.Add(1)] = true
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := c.Load(); got != goroutines*perG {
+			t.Fatalf("%v: final %d, want %d", mode, got, goroutines*perG)
+		}
+		// Every F&A ticket must be unique across goroutines.
+		all := make(map[uint64]int)
+		for g := range seen {
+			for v := range seen[g] {
+				all[v]++
+			}
+		}
+		if len(all) != goroutines*perG {
+			t.Fatalf("%v: %d unique tickets, want %d", mode, len(all), goroutines*perG)
+		}
+		for v, n := range all {
+			if n != 1 {
+				t.Fatalf("%v: ticket %d issued %d times", mode, v, n)
+			}
+		}
+	}
+}
+
+func TestCounterOr(t *testing.T) {
+	for _, mode := range []Mode{NativeFAA, EmulatedFAA} {
+		var c Counter
+		c.Init(mode, 0b0101)
+		if old := c.Or(0b0011); old != 0b0101 {
+			t.Errorf("%v: Or returned %#b, want 0b0101", mode, old)
+		}
+		if got := c.Load(); got != 0b0111 {
+			t.Errorf("%v: Load = %#b, want 0b0111", mode, got)
+		}
+		// Idempotent when all bits already set.
+		if old := c.Or(0b0111); old != 0b0111 {
+			t.Errorf("%v: second Or returned %#b", mode, old)
+		}
+	}
+}
+
+func TestCounterCAS(t *testing.T) {
+	var c Counter
+	c.Init(NativeFAA, 5)
+	if !c.CompareAndSwap(5, 9) {
+		t.Fatal("CAS(5,9) failed")
+	}
+	if c.CompareAndSwap(5, 1) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if c.Load() != 9 {
+		t.Fatalf("Load = %d, want 9", c.Load())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if NativeFAA.String() != "native-faa" || EmulatedFAA.String() != "emulated-faa" {
+		t.Fatal("Mode.String mismatch")
+	}
+}

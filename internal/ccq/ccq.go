@@ -1,0 +1,167 @@
+// Package ccq implements CCQueue — a FIFO queue driven by the CC-Synch
+// combining technique of Fatourou & Kallimanis (PPoPP '12), one of the
+// wCQ paper's baselines.
+//
+// CC-Synch serializes operations through a combiner: threads append a
+// request node to a global publication list with an atomic SWAP; the
+// thread that owns the head of the list applies a whole batch of
+// pending requests to a sequential queue and hands the combiner role
+// to the next waiter. The queue is therefore BLOCKING (a preempted
+// combiner stalls everyone) but has good throughput thanks to batching
+// and cache locality — the behaviour the paper's figures show.
+package ccq
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+// maxCombine bounds a combiner's batch, as in the original algorithm.
+const maxCombine = 64
+
+type opKind uint8
+
+const (
+	opEnq opKind = iota
+	opDeq
+)
+
+// request is a CC-Synch publication node.
+type request struct {
+	next      atomic.Pointer[request]
+	kind      opKind
+	arg       uint64
+	ret       uint64
+	retOK     bool
+	completed bool
+	wait      atomic.Bool
+	_         pad.Line
+}
+
+// seqNode is a node of the sequential FIFO applied by combiners.
+type seqNode struct {
+	val  uint64
+	next *seqNode
+}
+
+// Queue is the combining queue. The sequential list is only ever
+// touched by the current combiner, so it needs no synchronization of
+// its own (the SWAP/wait protocol provides the ordering).
+type Queue struct {
+	_        pad.Line
+	pubTail  atomic.Pointer[request]
+	_        pad.Line
+	seqHead  *seqNode
+	seqTail  *seqNode
+	_        pad.Line
+	handles  atomic.Int64
+	maxThrds int64
+}
+
+// Handle is a registered thread's view. It owns a spare request node
+// that is recycled through the publication list (the standard CC-Synch
+// node-swapping trick).
+type Handle struct {
+	q    *Queue
+	node *request
+}
+
+// New returns an empty CCQueue for at most maxThreads registered
+// handles.
+func New(maxThreads int) *Queue {
+	q := &Queue{maxThrds: int64(maxThreads)}
+	dummy := &request{}
+	dummy.wait.Store(false)
+	q.pubTail.Store(dummy)
+	return q
+}
+
+// Register returns a new per-thread handle.
+func (q *Queue) Register() (*Handle, bool) {
+	if q.handles.Add(1) > q.maxThrds {
+		q.handles.Add(-1)
+		return nil, false
+	}
+	return &Handle{q: q, node: &request{}}, true
+}
+
+// apply publishes a request and waits for its completion, combining
+// pending requests when this thread becomes the combiner (CC-Synch).
+func (h *Handle) apply(kind opKind, arg uint64) (uint64, bool) {
+	q := h.q
+	next := h.node
+	next.next.Store(nil)
+	next.wait.Store(true)
+	next.completed = false
+
+	cur := q.pubTail.Swap(next)
+	cur.kind = kind
+	cur.arg = arg
+	cur.next.Store(next)
+
+	// Wait until a combiner processes us or passes us the role.
+	for cur.wait.Load() {
+		runtime.Gosched()
+	}
+	if cur.completed {
+		h.node = cur // recycle the node we consumed
+		return cur.ret, cur.retOK
+	}
+
+	// We are the combiner: apply a batch sequentially.
+	tmp := cur
+	for count := 0; count < maxCombine; count++ {
+		nxt := tmp.next.Load()
+		if nxt == nil {
+			break
+		}
+		q.applySeq(tmp)
+		tmp.completed = true
+		tmp.wait.Store(false)
+		tmp = nxt
+	}
+	// Hand the combiner role to the next announced thread.
+	tmp.wait.Store(false)
+	h.node = cur
+	return cur.ret, cur.retOK
+}
+
+// applySeq executes one request against the sequential queue. Only the
+// combiner runs this.
+func (q *Queue) applySeq(r *request) {
+	switch r.kind {
+	case opEnq:
+		n := &seqNode{val: r.arg}
+		if q.seqTail == nil {
+			q.seqHead, q.seqTail = n, n
+		} else {
+			q.seqTail.next = n
+			q.seqTail = n
+		}
+		r.retOK = true
+	case opDeq:
+		if q.seqHead == nil {
+			r.ret, r.retOK = 0, false
+			return
+		}
+		n := q.seqHead
+		q.seqHead = n.next
+		if q.seqHead == nil {
+			q.seqTail = nil
+		}
+		r.ret, r.retOK = n.val, true
+	}
+}
+
+// Enqueue appends v (always succeeds; the sequential list is
+// unbounded).
+func (h *Handle) Enqueue(v uint64) {
+	h.apply(opEnq, v)
+}
+
+// Dequeue removes the oldest value; ok is false when empty.
+func (h *Handle) Dequeue() (uint64, bool) {
+	return h.apply(opDeq, 0)
+}

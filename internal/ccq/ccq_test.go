@@ -1,0 +1,75 @@
+package ccq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New(2)
+	h, ok := q.Register()
+	if !ok {
+		t.Fatal("register failed")
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty queue returned a value")
+	}
+	for i := uint64(0); i < 200; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("phantom value")
+	}
+}
+
+func TestRegisterCensus(t *testing.T) {
+	q := New(1)
+	if _, ok := q.Register(); !ok {
+		t.Fatal("first register failed")
+	}
+	if _, ok := q.Register(); ok {
+		t.Fatal("census exceeded")
+	}
+}
+
+func TestCombinerBatching(t *testing.T) {
+	// Many goroutines funnel through the combiner; exactly-once and
+	// liveness are what we can assert.
+	const g, per = 6, 3000
+	q := New(g)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, g*per)
+	for i := 0; i < g; i++ {
+		h, ok := q.Register()
+		if !ok {
+			t.Fatal("register failed")
+		}
+		wg.Add(1)
+		go func(i int, h *Handle) {
+			defer wg.Done()
+			local := make([]uint64, 0, per)
+			for j := 0; j < per; j++ {
+				h.Enqueue(uint64(i*per + j))
+				if v, ok := h.Dequeue(); ok {
+					local = append(local, v)
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range local {
+				if seen[v] {
+					t.Errorf("duplicate %d", v)
+				}
+				seen[v] = true
+			}
+		}(i, h)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,213 @@
+// Package checker provides the MPMC correctness harness applied to
+// every queue implementation in this repository. It verifies the three
+// properties a linearizable MPMC FIFO must exhibit under concurrency:
+//
+//  1. No loss: every enqueued value is eventually dequeued.
+//  2. No duplication: no value is dequeued twice.
+//  3. Per-producer FIFO: each consumer observes any one producer's
+//     values in strictly increasing sequence order (a consequence of
+//     linearizability that is cheap to check without full history
+//     analysis).
+//
+// Values are encoded as producerID<<32 | sequence.
+package checker
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/queueapi"
+)
+
+// Config sizes a checker run.
+type Config struct {
+	Producers   int
+	Consumers   int
+	PerProducer int
+	// Capacity bounds in-flight values so bounded queues never report
+	// full in a way the producers cannot absorb; producers spin on a
+	// full queue.
+	Capacity int
+}
+
+// Encode builds a checker payload value.
+func Encode(producer, seq int) uint64 { return uint64(producer)<<32 | uint64(seq) }
+
+// Decode splits a checker payload value.
+func Decode(v uint64) (producer, seq int) { return int(v >> 32), int(v & 0xffffffff) }
+
+// Run drives q with cfg and returns an error describing the first
+// violated property, if any.
+func Run(q queueapi.Queue, cfg Config) error {
+	total := cfg.Producers * cfg.PerProducer
+	delivered := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Producers+cfg.Consumers+16)
+	report := func(err error) { // non-blocking: first errors win
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	for p := 0; p < cfg.Producers; p++ {
+		h, err := q.Handle()
+		if err != nil {
+			return fmt.Errorf("producer handle: %w", err)
+		}
+		wg.Add(1)
+		go func(p int, h queueapi.Handle) {
+			defer wg.Done()
+			for i := 0; i < cfg.PerProducer; i++ {
+				for !h.Enqueue(Encode(p, i)) {
+					runtime.Gosched() // full: wait for consumers
+				}
+			}
+		}(p, h)
+	}
+
+	for c := 0; c < cfg.Consumers; c++ {
+		h, err := q.Handle()
+		if err != nil {
+			return fmt.Errorf("consumer handle: %w", err)
+		}
+		wg.Add(1)
+		go func(h queueapi.Handle) {
+			defer wg.Done()
+			lastSeq := make(map[int]int, cfg.Producers)
+			for {
+				if consumed.Load() >= int64(total) {
+					return
+				}
+				v, ok := h.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				p, seq := Decode(v)
+				if p >= cfg.Producers || seq >= cfg.PerProducer {
+					report(fmt.Errorf("corrupt value %#x", v))
+					consumed.Add(1)
+					continue
+				}
+				if prev, seen := lastSeq[p]; seen && seq <= prev {
+					report(fmt.Errorf("per-producer FIFO violation: producer %d seq %d after %d", p, seq, prev))
+				}
+				lastSeq[p] = seq
+				id := p*cfg.PerProducer + seq
+				if delivered[id].Add(1) != 1 {
+					report(fmt.Errorf("value %#x delivered more than once", v))
+				}
+				consumed.Add(1)
+			}
+		}(h)
+	}
+
+	wg.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		return err
+	}
+	for id := range delivered {
+		if delivered[id].Load() != 1 {
+			p, seq := id/cfg.PerProducer, id%cfg.PerProducer
+			return fmt.Errorf("value (p=%d, seq=%d) delivered %d times", p, seq, delivered[id].Load())
+		}
+	}
+	return nil
+}
+
+// RunSPSC verifies strict global FIFO order with one producer and one
+// consumer, the strongest order property observable without full
+// linearizability analysis.
+func RunSPSC(q queueapi.Queue, n int) error {
+	hp, err := q.Handle()
+	if err != nil {
+		return err
+	}
+	hc, err := q.Handle()
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		next := 0
+		for next < n {
+			v, ok := hc.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if int(v) != next {
+				done <- fmt.Errorf("FIFO violation: got %d, want %d", v, next)
+				return
+			}
+			next++
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; i++ {
+		for !hp.Enqueue(uint64(i)) {
+			runtime.Gosched()
+		}
+	}
+	return <-done
+}
+
+// RunDrain enqueues n values (spinning on full), then drains the queue
+// and verifies count and set equality. Exercises repeated full/empty
+// transitions sequentially.
+func RunDrain(q queueapi.Queue, n int) error {
+	h, err := q.Handle()
+	if err != nil {
+		return err
+	}
+	seen := make([]bool, n)
+	pending := 0
+	drained := 0
+	for i := 0; i < n; i++ {
+		for !h.Enqueue(Encode(0, i)) {
+			// Full: drain one.
+			v, ok := h.Dequeue()
+			if !ok {
+				return fmt.Errorf("queue both full and empty at %d", i)
+			}
+			if err := mark(seen, v); err != nil {
+				return err
+			}
+			pending--
+			drained++
+		}
+		pending++
+	}
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		if err := mark(seen, v); err != nil {
+			return err
+		}
+		pending--
+		drained++
+	}
+	if pending != 0 || drained != n {
+		return fmt.Errorf("drained %d of %d (pending %d)", drained, n, pending)
+	}
+	return nil
+}
+
+func mark(seen []bool, v uint64) error {
+	_, seq := Decode(v)
+	if seq >= len(seen) {
+		return fmt.Errorf("corrupt value %#x", v)
+	}
+	if seen[seq] {
+		return fmt.Errorf("value %d dequeued twice", seq)
+	}
+	seen[seq] = true
+	return nil
+}

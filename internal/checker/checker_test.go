@@ -1,0 +1,113 @@
+package checker
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/queueapi"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	for _, c := range []struct{ p, s int }{{0, 0}, {3, 12345}, {255, 1 << 30}} {
+		p, s := Decode(Encode(c.p, c.s))
+		if p != c.p || s != c.s {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", c.p, c.s, p, s)
+		}
+	}
+}
+
+// mutexQueue is a trivially correct queue used to validate the checker
+// itself accepts correct behaviour.
+type mutexQueue struct {
+	mu sync.Mutex
+	vs []uint64
+}
+
+func (q *mutexQueue) Handle() (queueapi.Handle, error) { return q, nil }
+func (q *mutexQueue) Cap() uint64                      { return 0 }
+func (q *mutexQueue) Footprint() uint64                { return 0 }
+func (q *mutexQueue) Name() string                     { return "mutex" }
+func (q *mutexQueue) Enqueue(v uint64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.vs = append(q.vs, v)
+	return true
+}
+func (q *mutexQueue) Dequeue() (uint64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.vs) == 0 {
+		return 0, false
+	}
+	v := q.vs[0]
+	q.vs = q.vs[1:]
+	return v, true
+}
+
+// dupQueue delivers every value twice — the checker must reject it.
+type dupQueue struct {
+	mutexQueue
+	pending []uint64
+}
+
+func (q *dupQueue) Handle() (queueapi.Handle, error) { return q, nil }
+func (q *dupQueue) Dequeue() (uint64, bool) {
+	q.mu.Lock()
+	if len(q.pending) > 0 {
+		v := q.pending[0]
+		q.pending = q.pending[1:]
+		q.mu.Unlock()
+		return v, true
+	}
+	q.mu.Unlock()
+	v, ok := q.mutexQueue.Dequeue()
+	if ok {
+		q.mu.Lock()
+		q.pending = append(q.pending, v)
+		q.mu.Unlock()
+	}
+	return v, ok
+}
+
+// lifoQueue violates FIFO — the checker must reject it.
+type lifoQueue struct{ mutexQueue }
+
+func (q *lifoQueue) Handle() (queueapi.Handle, error) { return q, nil }
+func (q *lifoQueue) Dequeue() (uint64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.vs) == 0 {
+		return 0, false
+	}
+	v := q.vs[len(q.vs)-1]
+	q.vs = q.vs[:len(q.vs)-1]
+	return v, true
+}
+
+func TestCheckerAcceptsCorrectQueue(t *testing.T) {
+	q := &mutexQueue{}
+	if err := Run(q, Config{Producers: 2, Consumers: 2, PerProducer: 2000, Capacity: 64}); err != nil {
+		t.Fatalf("correct queue rejected: %v", err)
+	}
+	if err := RunSPSC(&mutexQueue{}, 5000); err != nil {
+		t.Fatalf("correct queue rejected by SPSC: %v", err)
+	}
+	if err := RunDrain(&mutexQueue{}, 5000); err != nil {
+		t.Fatalf("correct queue rejected by drain: %v", err)
+	}
+}
+
+func TestCheckerCatchesDuplicates(t *testing.T) {
+	err := Run(&dupQueue{}, Config{Producers: 1, Consumers: 1, PerProducer: 100, Capacity: 64})
+	if err == nil {
+		t.Fatal("duplicate deliveries not detected")
+	}
+}
+
+func TestCheckerCatchesFIFOViolation(t *testing.T) {
+	err := RunSPSC(&lifoQueue{}, 1000)
+	if err == nil || !strings.Contains(err.Error(), "FIFO") {
+		t.Fatalf("LIFO order not detected: %v", err)
+	}
+}

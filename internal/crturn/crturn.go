@@ -1,0 +1,280 @@
+// Package crturn implements the Turn queue of Ramalhete & Correia
+// (PPoPP '17 poster; "CRTurn"), the truly wait-free baseline in the
+// wCQ paper's evaluation — and the outer-layer candidate the paper's
+// appendix uses for unbounded wCQ composition.
+//
+// CRTurn is a singly linked list with announcement arrays:
+//
+//   - enqueuers[tid] publishes a node to insert; every enqueue helps
+//     link the next pending enqueuer's node (in turn order after the
+//     current tail's enqTid) before checking its own, so each node is
+//     linked within maxThreads iterations.
+//   - deqself/deqhelp publish dequeue requests. A request is open when
+//     deqself[tid] == deqhelp[tid]. Dequeuers assign head.next to the
+//     next open request in turn order (after head's deqTid) by CAS-ing
+//     the node's deqTid, writing the node into deqhelp[idx], and then
+//     advancing head — so each dequeuer is served within maxThreads
+//     head advances.
+//
+// There is no F&A anywhere, every step is a CAS scan over all threads
+// — which is why it is wait-free but slow, matching its curves in
+// Figs. 10-12. The original reclaims memory with hazard pointers (the
+// paper's "wait-free memory reclamation"); the Go port leans on the
+// garbage collector, which preserves the algorithmic shape while
+// removing the retire/protect calls.
+package crturn
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+const noIdx = int32(-1)
+
+type node struct {
+	item   uint64
+	enqTid int32
+	deqTid atomic.Int32
+	next   atomic.Pointer[node]
+}
+
+func newNode(item uint64, enqTid int32) *node {
+	n := &node{item: item, enqTid: enqTid}
+	n.deqTid.Store(noIdx)
+	return n
+}
+
+// Queue is the CRTurn wait-free queue.
+type Queue struct {
+	_          pad.Line
+	head       atomic.Pointer[node]
+	_          pad.Line
+	tail       atomic.Pointer[node]
+	_          pad.Line
+	enqueuers  []atomic.Pointer[node]
+	deqself    []atomic.Pointer[node]
+	deqhelp    []atomic.Pointer[node]
+	maxThreads int
+	handles    atomic.Int64
+}
+
+// Handle is a registered thread's view. consumedMark tracks the last
+// deqhelp node this thread acknowledged; any other node found in
+// deqhelp[tid] is a delivery we have not yet consumed (possibly one
+// that raced a rollback) and is returned by the next Dequeue.
+type Handle struct {
+	q            *Queue
+	tid          int
+	consumedMark *node
+}
+
+// New returns an empty queue for at most maxThreads registered
+// handles.
+func New(maxThreads int) *Queue {
+	q := &Queue{
+		enqueuers:  make([]atomic.Pointer[node], maxThreads),
+		deqself:    make([]atomic.Pointer[node], maxThreads),
+		deqhelp:    make([]atomic.Pointer[node], maxThreads),
+		maxThreads: maxThreads,
+	}
+	sentinel := newNode(0, 0)
+	sentinel.deqTid.Store(0) // turn order starts after thread 0
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	for i := 0; i < maxThreads; i++ {
+		// Distinct markers so no request looks open initially.
+		q.deqself[i].Store(newNode(0, int32(i)))
+		q.deqhelp[i].Store(newNode(0, int32(i)))
+	}
+	return q
+}
+
+// Register returns a per-thread handle.
+func (q *Queue) Register() (*Handle, error) {
+	id := q.handles.Add(1) - 1
+	if id >= int64(q.maxThreads) {
+		q.handles.Add(-1)
+		return nil, fmt.Errorf("crturn: thread census exhausted (%d)", q.maxThreads)
+	}
+	return &Handle{q: q, tid: int(id), consumedMark: q.deqhelp[id].Load()}, nil
+}
+
+// Enqueue appends v; always succeeds (unbounded).
+func (h *Handle) Enqueue(v uint64) {
+	q, tid := h.q, h.tid
+	myNode := newNode(v, int32(tid))
+	q.enqueuers[tid].Store(myNode)
+	for i := 0; i < q.maxThreads; i++ {
+		if q.enqueuers[tid].Load() == nil {
+			return // some helper linked our node and cleared the slot
+		}
+		ltail := q.tail.Load()
+		if q.enqueuers[ltail.enqTid].Load() == ltail {
+			// The tail's request is satisfied; clear it for its owner.
+			q.enqueuers[ltail.enqTid].CompareAndSwap(ltail, nil)
+		}
+		// Link the next pending enqueuer in turn order.
+		for j := 1; j <= q.maxThreads; j++ {
+			nodeToHelp := q.enqueuers[(j+int(ltail.enqTid))%q.maxThreads].Load()
+			if nodeToHelp == nil {
+				continue
+			}
+			ltail.next.CompareAndSwap(nil, nodeToHelp)
+			break
+		}
+		if lnext := ltail.next.Load(); lnext != nil {
+			q.tail.CompareAndSwap(ltail, lnext)
+		}
+	}
+	// The paper's bound guarantees the node is linked by now; verify
+	// defensively before withdrawing the announcement (clearing the
+	// slot for an unlinked node would lose the element).
+	for q.enqueuers[tid].Load() == myNode && !q.nodeLinked(myNode) {
+		q.helpLinkOnce()
+		runtime.Gosched()
+	}
+	q.enqueuers[tid].Store(nil)
+}
+
+// nodeLinked reports whether n has been linked into the list. Tail is
+// always the last or second-to-last node, so three checks suffice.
+func (q *Queue) nodeLinked(n *node) bool {
+	t := q.tail.Load()
+	return t == n || t.next.Load() == n || n.next.Load() != nil
+}
+
+// helpLinkOnce performs one round of the enqueue helping body.
+func (q *Queue) helpLinkOnce() {
+	ltail := q.tail.Load()
+	for j := 1; j <= q.maxThreads; j++ {
+		nodeToHelp := q.enqueuers[(j+int(ltail.enqTid))%q.maxThreads].Load()
+		if nodeToHelp == nil {
+			continue
+		}
+		ltail.next.CompareAndSwap(nil, nodeToHelp)
+		break
+	}
+	if lnext := ltail.next.Load(); lnext != nil {
+		q.tail.CompareAndSwap(ltail, lnext)
+	}
+}
+
+// Dequeue removes the oldest value; ok is false when the queue is
+// empty.
+//
+// Port note: the original's rollback (hazard-pointer based) leaves a
+// tiny window where a helper holding a stale "request open"
+// observation assigns a node to a request that has just rolled back
+// and returned empty. Rather than lose that node, the owner detects
+// any unacknowledged delivery on its next Dequeue (deqhelp[tid] !=
+// consumedMark) and consumes it first.
+func (h *Handle) Dequeue() (uint64, bool) {
+	q, tid := h.q, h.tid
+	if n := q.deqhelp[tid].Load(); n != h.consumedMark {
+		return h.consumeDelivered(n)
+	}
+	prReq := q.deqself[tid].Load()
+	myReq := q.deqhelp[tid].Load()
+	q.deqself[tid].Store(myReq) // open our request
+	// The turn discipline serves an open request within maxThreads head
+	// advances; every iteration either helps an advance, observes
+	// emptiness (rollback + return), or finds the request satisfied, so
+	// the loop terminates without a fixed bound.
+	for q.deqhelp[tid].Load() == myReq {
+		lhead := q.head.Load()
+		lnext := lhead.next.Load()
+		if lnext == nil {
+			// Looks empty: roll the request back.
+			q.deqself[tid].Store(prReq)
+			q.giveUp(myReq, tid)
+			if q.deqhelp[tid].Load() != myReq {
+				// Helped between the check and the rollback: keep the
+				// record consistent and consume the delivery.
+				q.deqself[tid].Store(myReq)
+				break
+			}
+			return 0, false
+		}
+		if q.searchNext(lhead, lnext) != noIdx {
+			q.casDeqAndHead(lhead, lnext)
+		}
+	}
+	return h.consumeDelivered(q.deqhelp[tid].Load())
+}
+
+// consumeDelivered acknowledges a node delivered to this thread's
+// deqhelp slot, helps head past it, and returns its item.
+func (h *Handle) consumeDelivered(n *node) (uint64, bool) {
+	h.consumedMark = n
+	q := h.q
+	lhead := q.head.Load()
+	if n == lhead.next.Load() {
+		q.head.CompareAndSwap(lhead, n)
+	}
+	return n.item, true
+}
+
+// searchNext assigns lnext to the next open dequeue request in turn
+// order after lhead's deqTid and returns the assigned thread index
+// (noIdx when no request is open).
+func (q *Queue) searchNext(lhead, lnext *node) int32 {
+	turn := int(lhead.deqTid.Load())
+	for idx := turn + 1; idx <= turn+q.maxThreads; idx++ {
+		idDeq := int32(idx % q.maxThreads)
+		if q.deqself[idDeq].Load() != q.deqhelp[idDeq].Load() {
+			continue // no open request for this thread
+		}
+		lnext.deqTid.CompareAndSwap(noIdx, idDeq)
+		break
+	}
+	return lnext.deqTid.Load()
+}
+
+// casDeqAndHead delivers lnext to its assigned request and advances
+// head past it.
+//
+// Delivery is guarded: deqhelp[idx] is CAS'd only while it still
+// equals the request's open marker (deqself[idx]); delivering
+// unconditionally could overwrite a newer request state with an old
+// node. Head may advance unconditionally because a node is always
+// delivered before head passes it: delivery precedes the head CAS in
+// every thread's program order, and with sequentially consistent
+// atomics any thread that loads head at or past lnext also observes
+// the delivery, so it can never assign a second node to the same open
+// request (searchNext reads the request state after loading head).
+func (q *Queue) casDeqAndHead(lhead, lnext *node) {
+	idx := lnext.deqTid.Load()
+	if idx == noIdx {
+		return
+	}
+	ldeqhelp := q.deqhelp[idx].Load()
+	if ldeqhelp != lnext && ldeqhelp == q.deqself[idx].Load() {
+		q.deqhelp[idx].CompareAndSwap(ldeqhelp, lnext)
+	}
+	q.head.CompareAndSwap(lhead, lnext)
+}
+
+// giveUp runs after a rollback closed this thread's request. Its job
+// is to leave no assignable node behind: if head.next exists and is
+// unassigned, it is assigned — to another open request or, failing
+// that, to US — and delivered. This closes the stale-helper window: a
+// helper that observed our request open before the rollback can only
+// CAS a node that was head.next before giveUp ran, and giveUp has
+// assigned any such node already, so the stale CAS fails.
+func (q *Queue) giveUp(myReq *node, tid int) {
+	if q.deqhelp[tid].Load() != myReq {
+		return // already satisfied; the caller consumes it
+	}
+	lhead := q.head.Load()
+	lnext := lhead.next.Load()
+	if lnext == nil {
+		return // genuinely empty at this instant
+	}
+	if q.searchNext(lhead, lnext) == noIdx {
+		lnext.deqTid.CompareAndSwap(noIdx, int32(tid))
+	}
+	q.casDeqAndHead(lhead, lnext)
+}

@@ -1,0 +1,100 @@
+package crturn
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New(2)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty queue returned a value")
+	}
+	for i := uint64(0); i < 100; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("phantom value")
+	}
+}
+
+func TestEmptyAfterRollbackStaysConsistent(t *testing.T) {
+	q := New(2)
+	h, _ := q.Register()
+	for round := 0; round < 100; round++ {
+		if _, ok := h.Dequeue(); ok {
+			t.Fatal("phantom on empty queue")
+		}
+		h.Enqueue(uint64(round))
+		v, ok := h.Dequeue()
+		if !ok || v != uint64(round) {
+			t.Fatalf("round %d: got (%d,%v)", round, v, ok)
+		}
+	}
+}
+
+func TestRegisterCensus(t *testing.T) {
+	q := New(1)
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("census exceeded")
+	}
+}
+
+func TestTurnFairnessUnderContention(t *testing.T) {
+	// All threads dequeue concurrently from a pre-filled queue; the
+	// turn discipline must serve every open request (no starvation,
+	// exactly-once).
+	const threads = 4
+	const total = 4000
+	q := New(threads + 1)
+	hp, _ := q.Register()
+	for i := uint64(0); i < total; i++ {
+		hp.Enqueue(i)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[uint64]int, total)
+	for g := 0; g < threads; g++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for {
+				v, ok := h.Dequeue()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+				runtime.Gosched()
+			}
+		}(h)
+	}
+	wg.Wait()
+	if len(seen) != total {
+		t.Fatalf("drained %d, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d delivered %d times", v, n)
+		}
+	}
+}

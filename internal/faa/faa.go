@@ -1,0 +1,50 @@
+// Package faa implements the paper's FAA pseudo-queue: Enqueue and
+// Dequeue simply fetch-and-add the Tail and Head counters (plus a
+// payload slot write/read so the data path is not optimized away).
+//
+// It is NOT a real queue — the paper includes it only as a theoretical
+// throughput "upper bound" for F&A-based algorithms, and so do we. It
+// must never be fed to the correctness checker.
+package faa
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/pad"
+)
+
+// Queue is the F&A throughput ceiling pseudo-queue.
+type Queue struct {
+	_    pad.Line
+	tail atomicx.Counter
+	_    pad.Line
+	head atomicx.Counter
+	_    pad.Line
+	slot atomic.Uint64 // token destination so the payload is "used"
+	_    pad.Line
+}
+
+// New returns a pseudo-queue using the given F&A mode.
+func New(mode atomicx.Mode) *Queue {
+	q := &Queue{}
+	q.tail.Init(mode, 0)
+	q.head.Init(mode, 0)
+	return q
+}
+
+// Enqueue performs one F&A on Tail and stores v.
+func (q *Queue) Enqueue(v uint64) {
+	q.tail.Add(1)
+	q.slot.Store(v)
+}
+
+// Dequeue performs one F&A on Head. It reports ok only when Head has
+// not overtaken Tail, mimicking an emptiness check.
+func (q *Queue) Dequeue() (uint64, bool) {
+	h := q.head.Add(1)
+	if h >= q.tail.Load() {
+		return 0, false
+	}
+	return q.slot.Load(), true
+}

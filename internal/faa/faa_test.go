@@ -1,0 +1,23 @@
+package faa
+
+import (
+	"testing"
+
+	"repro/internal/atomicx"
+)
+
+func TestPseudoQueueCounters(t *testing.T) {
+	for _, mode := range []atomicx.Mode{atomicx.NativeFAA, atomicx.EmulatedFAA} {
+		q := New(mode)
+		if _, ok := q.Dequeue(); ok {
+			t.Fatal("dequeue ahead of enqueue reported ok")
+		}
+		q.Enqueue(7)
+		q.Enqueue(8)
+		// Head was already bumped once by the failed dequeue; one more
+		// dequeue stays behind tail.
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatal("dequeue behind tail reported empty")
+		}
+	}
+}

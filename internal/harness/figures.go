@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/atomicx"
+	"repro/internal/queues"
+)
+
+// Figure describes one plot of the paper's evaluation (§6) and how to
+// regenerate it.
+type Figure struct {
+	ID       string // e.g. "11b"
+	Title    string
+	Workload Workload
+	Threads  []int
+	Mode     atomicx.Mode
+	Queues   []string
+	Delays   bool // tiny random delays (memory test)
+	Memory   bool // report MB instead of Mops
+}
+
+// Thread sweeps from the paper: x86 peaks at one 18-core socket then
+// oversubscribes; PowerPC uses 64 logical cores.
+var (
+	x86Threads = []int{1, 2, 4, 8, 18, 36, 72, 144}
+	ppcThreads = []int{1, 2, 4, 8, 16, 32, 64}
+)
+
+// x86Queues is the Fig. 10/11 line-up; ppcQueues drops LCRQ (needs
+// CAS2), exactly as the paper does for PowerPC.
+var (
+	x86Queues = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue", "LCRQ"}
+	ppcQueues = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue"}
+)
+
+// Figures returns every figure of the evaluation in paper order.
+func Figures() []Figure {
+	return []Figure{
+		{ID: "10a", Title: "Memory usage, x86 (MB)", Workload: Mixed, Threads: x86Threads,
+			Mode: atomicx.NativeFAA, Queues: x86Queues, Delays: true, Memory: true},
+		{ID: "10b", Title: "Memory test throughput, x86 (Mops/s)", Workload: Mixed, Threads: x86Threads,
+			Mode: atomicx.NativeFAA, Queues: x86Queues, Delays: true},
+		{ID: "11a", Title: "Empty dequeue, x86 (Mops/s)", Workload: EmptyDeq, Threads: x86Threads,
+			Mode: atomicx.NativeFAA, Queues: x86Queues},
+		{ID: "11b", Title: "Pairwise enqueue-dequeue, x86 (Mops/s)", Workload: Pairwise, Threads: x86Threads,
+			Mode: atomicx.NativeFAA, Queues: x86Queues},
+		{ID: "11c", Title: "50%/50% enqueue-dequeue, x86 (Mops/s)", Workload: Mixed, Threads: x86Threads,
+			Mode: atomicx.NativeFAA, Queues: x86Queues},
+		{ID: "12a", Title: "Empty dequeue, emulated PowerPC (Mops/s)", Workload: EmptyDeq, Threads: ppcThreads,
+			Mode: atomicx.EmulatedFAA, Queues: ppcQueues},
+		{ID: "12b", Title: "Pairwise enqueue-dequeue, emulated PowerPC (Mops/s)", Workload: Pairwise, Threads: ppcThreads,
+			Mode: atomicx.EmulatedFAA, Queues: ppcQueues},
+		{ID: "12c", Title: "50%/50% enqueue-dequeue, emulated PowerPC (Mops/s)", Workload: Mixed, Threads: ppcThreads,
+			Mode: atomicx.EmulatedFAA, Queues: ppcQueues},
+	}
+}
+
+// FigureByID looks a figure up ("10a" ... "12c").
+func FigureByID(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("harness: unknown figure %q", id)
+}
+
+// RunOpts scales a figure run. The paper uses 10M ops x 10 reps per
+// point; the defaults here are sized for a small machine and can be
+// raised via flags.
+type RunOpts struct {
+	Ops        int
+	Reps       int
+	MaxThreads int // truncate the sweep (0 = full paper sweep)
+	Queues     []string
+}
+
+func (o RunOpts) withDefaults() RunOpts {
+	if o.Ops <= 0 {
+		o.Ops = 200_000
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	return o
+}
+
+// Run executes the figure and returns all points (in queue-major
+// order). Unavailable queues (LCRQ under emulation) produce points
+// with Err set, rendered as "n/a" like the missing LCRQ lines in the
+// paper's PowerPC plots.
+func (f Figure) Run(opts RunOpts) []Point {
+	opts = opts.withDefaults()
+	qs := f.Queues
+	if len(opts.Queues) > 0 {
+		qs = intersect(f.Queues, opts.Queues)
+	}
+	var pts []Point
+	for _, name := range qs {
+		for _, th := range f.Threads {
+			if opts.MaxThreads > 0 && th > opts.MaxThreads {
+				continue
+			}
+			cfg := queues.Config{
+				Capacity:   1 << 16, // the paper's ring size for wCQ/SCQ
+				MaxThreads: th + 1,
+				Mode:       f.Mode,
+			}
+			pts = append(pts, RunPoint(name, cfg, f.Workload, PointOpts{
+				Threads: th,
+				Ops:     opts.Ops,
+				Reps:    opts.Reps,
+				Delays:  f.Delays,
+				Memory:  f.Memory,
+			}))
+		}
+	}
+	return pts
+}
+
+// Render writes the figure header and table to w.
+func (f Figure) Render(w io.Writer, pts []Point, opts RunOpts) {
+	opts = opts.withDefaults()
+	threads := f.Threads
+	if opts.MaxThreads > 0 {
+		threads = nil
+		for _, t := range f.Threads {
+			if t <= opts.MaxThreads {
+				threads = append(threads, t)
+			}
+		}
+	}
+	qs := f.Queues
+	if len(opts.Queues) > 0 {
+		qs = intersect(f.Queues, opts.Queues)
+	}
+	fmt.Fprintf(w, "Figure %s: %s (%s workload, %s)\n", f.ID, f.Title, f.Workload, f.Mode)
+	io.WriteString(w, FormatPoints(pts, threads, qs, f.Memory))
+}
+
+func intersect(all, wanted []string) []string {
+	set := map[string]bool{}
+	for _, w := range wanted {
+		set[w] = true
+	}
+	var out []string
+	for _, a := range all {
+		if set[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SortPoints orders points by (queue, threads) for stable output.
+func SortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Queue != pts[j].Queue {
+			return pts[i].Queue < pts[j].Queue
+		}
+		return pts[i].Threads < pts[j].Threads
+	})
+}

@@ -1,0 +1,252 @@
+// Package harness reproduces the wCQ paper's benchmark framework
+// (§6, originally the YMC test framework extended with SCQ, CRTurn and
+// wCQ): workload generators, thread sweeps, throughput and memory
+// measurement, and one runner per figure of the evaluation.
+//
+// Differences from the paper's testbed are confined to this package
+// and documented in DESIGN.md: goroutines instead of pinned pthreads,
+// runtime heap sampling + cumulative allocation accounting instead of
+// malloc probes, and an emulated-F&A mode standing in for PowerPC.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/queues"
+	"repro/internal/stats"
+)
+
+// Workload enumerates the paper's benchmark loops.
+type Workload uint8
+
+const (
+	// Pairwise: each thread alternates Enqueue and Dequeue in a tight
+	// loop (Figs. 11b, 12b).
+	Pairwise Workload = iota
+	// Mixed: each op is Enqueue or Dequeue with probability 1/2
+	// (Figs. 10b, 11c, 12c).
+	Mixed
+	// EmptyDeq: Dequeue in a tight loop on an empty queue (Figs. 11a,
+	// 12a).
+	EmptyDeq
+)
+
+func (w Workload) String() string {
+	switch w {
+	case Pairwise:
+		return "pairwise"
+	case Mixed:
+		return "50/50"
+	case EmptyDeq:
+		return "empty-dequeue"
+	}
+	return "?"
+}
+
+// PointOpts sizes one measurement point.
+type PointOpts struct {
+	Threads int
+	Ops     int  // total operations across all threads
+	Reps    int  // repetitions (the paper uses 10)
+	Delays  bool // tiny random delays between ops (memory test)
+	Memory  bool // sample heap usage
+}
+
+// Point is one (queue, thread-count) measurement.
+type Point struct {
+	Queue    string
+	Threads  int
+	Mops     stats.Summary
+	MemoryMB float64 // peak memory consumed (cumulative static + heap)
+	Err      error   // non-nil when the queue is unavailable (e.g. LCRQ under emulation)
+}
+
+// RunPoint measures one queue at one thread count.
+func RunPoint(name string, cfg queues.Config, w Workload, opts PointOpts) Point {
+	pt := Point{Queue: name, Threads: opts.Threads}
+	if opts.Reps <= 0 {
+		opts.Reps = 1
+	}
+	mops := make([]float64, 0, opts.Reps)
+	for rep := 0; rep < opts.Reps; rep++ {
+		m, mem, err := runOnce(name, cfg, w, opts)
+		if err != nil {
+			pt.Err = err
+			return pt
+		}
+		mops = append(mops, m)
+		if mem > pt.MemoryMB {
+			pt.MemoryMB = mem
+		}
+	}
+	pt.Mops = stats.Summarize(mops)
+	return pt
+}
+
+// runOnce builds a fresh queue and drives one timed run.
+func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops float64, memMB float64, err error) {
+	if cfg.MaxThreads < opts.Threads+1 {
+		cfg.MaxThreads = opts.Threads + 1
+	}
+	q, err := queues.New(name, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	var baseline runtime.MemStats
+	var sampler *memSampler
+	if opts.Memory {
+		runtime.GC()
+		runtime.ReadMemStats(&baseline)
+		sampler = startMemSampler()
+	}
+
+	perThread := opts.Ops / opts.Threads
+	if perThread == 0 {
+		perThread = 1
+	}
+	var wg sync.WaitGroup
+	var barrier sync.WaitGroup
+	barrier.Add(1)
+	for t := 0; t < opts.Threads; t++ {
+		h, herr := q.Handle()
+		if herr != nil {
+			return 0, 0, herr
+		}
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			barrier.Wait()
+			rng := seed*2654435761 + 1
+			for i := 0; i < perThread; i++ {
+				switch w {
+				case Pairwise:
+					h.Enqueue(rng)
+					h.Dequeue()
+					i++ // a pair is two operations
+				case Mixed:
+					rng = xorshift(rng)
+					if rng&1 == 0 {
+						h.Enqueue(rng)
+					} else {
+						h.Dequeue()
+					}
+				case EmptyDeq:
+					h.Dequeue()
+				}
+				if opts.Delays {
+					rng = xorshift(rng)
+					spin(int(rng % 64))
+				}
+			}
+		}(uint64(t) + 1)
+	}
+	start := time.Now()
+	barrier.Done()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	if opts.Memory {
+		peak := sampler.stop()
+		var heapMB float64
+		if peak > baseline.HeapAlloc {
+			heapMB = float64(peak-baseline.HeapAlloc) / (1 << 20)
+		}
+		// Cumulative static/ring allocation (wCQ/SCQ: fixed; LCRQ/YMC:
+		// grows with closed rings / segments) plus dynamic heap growth.
+		memMB = float64(q.Footprint())/(1<<20) + heapMB
+	}
+	return stats.Mops(opts.Ops, elapsed), memMB, nil
+}
+
+// xorshift is a tiny per-thread PRNG (no allocation, no locks).
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// spin busy-loops for n iterations — the paper's "tiny random delays".
+//
+//go:noinline
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+// memSampler polls HeapAlloc in the background during a run.
+type memSampler struct {
+	stopc chan struct{}
+	done  chan struct{}
+	peak  atomic.Uint64
+}
+
+func startMemSampler() *memSampler {
+	s := &memSampler{stopc: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak.Load() {
+					s.peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *memSampler) stop() uint64 {
+	close(s.stopc)
+	<-s.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.peak.Load() {
+		s.peak.Store(ms.HeapAlloc)
+	}
+	return s.peak.Load()
+}
+
+// FormatPoints renders a figure's results as the table the paper plots:
+// one row per thread count, one column per queue.
+func FormatPoints(pts []Point, threads []int, queueNames []string, memory bool) string {
+	cell := func(p Point) string {
+		if p.Err != nil {
+			return "n/a"
+		}
+		if memory {
+			return fmt.Sprintf("%.2f", p.MemoryMB)
+		}
+		return fmt.Sprintf("%.3f", p.Mops.Mean)
+	}
+	byKey := map[string]Point{}
+	for _, p := range pts {
+		byKey[fmt.Sprintf("%s/%d", p.Queue, p.Threads)] = p
+	}
+	out := "threads"
+	for _, q := range queueNames {
+		out += fmt.Sprintf("\t%s", q)
+	}
+	out += "\n"
+	for _, t := range threads {
+		out += fmt.Sprintf("%d", t)
+		for _, q := range queueNames {
+			out += "\t" + cell(byKey[fmt.Sprintf("%s/%d", q, t)])
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/queues"
+)
+
+func smallOpts(threads int) PointOpts {
+	return PointOpts{Threads: threads, Ops: 4000, Reps: 2}
+}
+
+func TestRunPointAllQueuesAllWorkloads(t *testing.T) {
+	for _, name := range append(queues.RealQueues(), "FAA") {
+		for _, w := range []Workload{Pairwise, Mixed, EmptyDeq} {
+			name, w := name, w
+			t.Run(name+"/"+w.String(), func(t *testing.T) {
+				cfg := queues.Config{Capacity: 1 << 10, MaxThreads: 8}
+				pt := RunPoint(name, cfg, w, smallOpts(3))
+				if pt.Err != nil {
+					t.Fatalf("point error: %v", pt.Err)
+				}
+				if pt.Mops.Mean <= 0 {
+					t.Fatalf("non-positive throughput: %+v", pt.Mops)
+				}
+			})
+		}
+	}
+}
+
+func TestRunPointMemoryProbe(t *testing.T) {
+	cfg := queues.Config{Capacity: 1 << 10, MaxThreads: 8}
+	pt := RunPoint("wCQ", cfg, Mixed, PointOpts{Threads: 2, Ops: 4000, Reps: 1, Delays: true, Memory: true})
+	if pt.Err != nil {
+		t.Fatal(pt.Err)
+	}
+	if pt.MemoryMB <= 0 {
+		t.Fatal("wCQ memory probe reported zero (static footprint must show)")
+	}
+}
+
+func TestLCRQUnavailableProducesErrPoint(t *testing.T) {
+	cfg := queues.Config{Capacity: 1 << 10, MaxThreads: 8, Mode: atomicx.EmulatedFAA}
+	pt := RunPoint("LCRQ", cfg, Pairwise, smallOpts(2))
+	if pt.Err == nil {
+		t.Fatal("expected error point for LCRQ under emulation")
+	}
+}
+
+func TestFiguresComplete(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 8 {
+		t.Fatalf("have %d figures, want 8 (10a-12c)", len(figs))
+	}
+	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c"}
+	for i, f := range figs {
+		if f.ID != want[i] {
+			t.Fatalf("figure %d is %q, want %q", i, f.ID, want[i])
+		}
+		if len(f.Threads) == 0 || len(f.Queues) == 0 {
+			t.Fatalf("figure %s underspecified", f.ID)
+		}
+	}
+	// PowerPC figures must use emulation and exclude LCRQ.
+	for _, id := range []string{"12a", "12b", "12c"} {
+		f, err := FigureByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Mode != atomicx.EmulatedFAA {
+			t.Fatalf("figure %s not emulated", id)
+		}
+		for _, q := range f.Queues {
+			if q == "LCRQ" {
+				t.Fatalf("figure %s includes LCRQ", id)
+			}
+		}
+	}
+	if _, err := FigureByID("99z"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFigureRunAndRender(t *testing.T) {
+	f, err := FigureByID("11b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOpts{Ops: 2000, Reps: 1, MaxThreads: 2, Queues: []string{"wCQ", "SCQ"}}
+	pts := f.Run(opts)
+	if len(pts) != 4 { // 2 queues x threads {1,2}
+		t.Fatalf("got %d points", len(pts))
+	}
+	var sb strings.Builder
+	f.Render(&sb, pts, opts)
+	out := sb.String()
+	if !strings.Contains(out, "Figure 11b") || !strings.Contains(out, "wCQ") {
+		t.Fatalf("render output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + title + 2 thread rows
+		t.Fatalf("unexpected table shape:\n%s", out)
+	}
+}
+
+func TestFormatPointsNA(t *testing.T) {
+	pts := []Point{{Queue: "LCRQ", Threads: 1, Err: errFake}}
+	out := FormatPoints(pts, []int{1}, []string{"LCRQ"}, false)
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("missing n/a cell: %q", out)
+	}
+}
+
+var errFake = errStr("unavailable")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+func TestXorshiftNonDegenerate(t *testing.T) {
+	seen := map[uint64]bool{}
+	x := uint64(1)
+	for i := 0; i < 1000; i++ {
+		x = xorshift(x)
+		if seen[x] {
+			t.Fatalf("cycle after %d steps", i)
+		}
+		seen[x] = true
+	}
+}
+
+func TestSortPoints(t *testing.T) {
+	pts := []Point{{Queue: "b", Threads: 2}, {Queue: "a", Threads: 4}, {Queue: "a", Threads: 1}}
+	SortPoints(pts)
+	if pts[0].Queue != "a" || pts[0].Threads != 1 || pts[2].Queue != "b" {
+		t.Fatalf("bad order: %+v", pts)
+	}
+}

@@ -1,0 +1,83 @@
+// Package msq implements the Michael & Scott lock-free FIFO queue
+// (PODC '96 / JPDC '98), the classic CAS-based baseline in the wCQ
+// paper's evaluation. It is unbounded, allocates a node per enqueue,
+// and scales poorly under contention because Head/Tail updates are CAS
+// loops — exactly the behaviour Figs. 10-12 attribute to it.
+//
+// The paper's C version uses hazard pointers for reclamation; the Go
+// port relies on the garbage collector, which also removes the ABA
+// hazard (nodes are never reused while reachable).
+package msq
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+type node struct {
+	val  uint64
+	next atomic.Pointer[node]
+}
+
+// Queue is an unbounded lock-free MPMC FIFO.
+type Queue struct {
+	_    pad.Line
+	head atomic.Pointer[node]
+	_    pad.Line
+	tail atomic.Pointer[node]
+	_    pad.Line
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	q := &Queue{}
+	sentinel := &node{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v. It always succeeds (the queue is unbounded).
+func (q *Queue) Enqueue(v uint64) {
+	n := &node{val: v}
+	for {
+		t := q.tail.Load()
+		next := t.next.Load()
+		if t != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(t, next) // help a lagging enqueuer
+			continue
+		}
+		if t.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(t, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok is false when the
+// queue is empty.
+func (q *Queue) Dequeue() (v uint64, ok bool) {
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		next := h.next.Load()
+		if h != q.head.Load() {
+			continue
+		}
+		if h == t {
+			if next == nil {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(t, next)
+			continue
+		}
+		v = next.val
+		if q.head.CompareAndSwap(h, next) {
+			return v, true
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package queueapi defines the minimal interface every queue in this
+// repository — wCQ, SCQ and all evaluation baselines — implements, so
+// that the correctness checker and the benchmark harness can drive
+// them uniformly.
+//
+// Payloads are uint64, matching the paper's benchmark (which moves
+// word-sized pointers); benchmark identities are encoded as
+// (thread<<32 | sequence).
+package queueapi
+
+// Queue is a bounded or unbounded MPMC FIFO under test.
+type Queue interface {
+	// Handle returns a per-goroutine view of the queue. Queues with
+	// per-thread state (wCQ, YMC, CRTurn, CCQueue) allocate a thread
+	// record; others may return a shared stateless view. A Handle must
+	// not be used by two goroutines concurrently.
+	Handle() (Handle, error)
+	// Cap returns the queue's capacity, or 0 when unbounded.
+	Cap() uint64
+	// Footprint returns the bytes statically allocated at construction
+	// (0 when everything is dynamic). Together with runtime heap
+	// sampling this reproduces the paper's Fig. 10a memory metric.
+	Footprint() uint64
+	// Name identifies the algorithm in reports (e.g. "wCQ", "SCQ").
+	Name() string
+}
+
+// Handle is a per-goroutine queue view.
+type Handle interface {
+	// Enqueue appends v; false means the queue is full (bounded queues
+	// only — unbounded queues always return true).
+	Enqueue(v uint64) bool
+	// Dequeue removes the oldest value; false means empty.
+	Dequeue() (uint64, bool)
+}

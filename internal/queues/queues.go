@@ -1,0 +1,289 @@
+// Package queues adapts every queue implementation in this repository
+// to the common queueapi interface and provides a registry keyed by
+// the names used in the paper's figures (wCQ, SCQ, LCRQ, YMC, CRTurn,
+// CCQueue, MSQueue, FAA).
+package queues
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/atomicx"
+	"repro/internal/ccq"
+	"repro/internal/crturn"
+	"repro/internal/faa"
+	"repro/internal/lcrq"
+	"repro/internal/msq"
+	"repro/internal/queueapi"
+	"repro/internal/scq"
+	"repro/internal/wcq"
+	"repro/internal/ymc"
+)
+
+// Config parameterizes queue construction.
+type Config struct {
+	// Capacity is the bounded-ring capacity (wCQ, SCQ). The paper's
+	// benchmarks use 2^16.
+	Capacity uint64
+	// MaxThreads bounds the number of Handle() calls for queues with
+	// per-thread state.
+	MaxThreads int
+	// Mode selects native or emulated F&A (the Fig. 12 configuration).
+	Mode atomicx.Mode
+	// LCRQOrder overrides the CRQ ring order (default 12, as in the
+	// paper).
+	LCRQOrder uint
+	// WCQ tuning; nil selects the paper's defaults.
+	WCQOptions *wcq.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity == 0 {
+		c.Capacity = 1 << 16
+	}
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 256
+	}
+	return c
+}
+
+// Builder constructs a queue implementation.
+type Builder func(Config) (queueapi.Queue, error)
+
+var registry = map[string]Builder{
+	"wCQ":     NewWCQ,
+	"SCQ":     NewSCQ,
+	"LCRQ":    NewLCRQ,
+	"YMC":     NewYMC,
+	"CRTurn":  NewCRTurn,
+	"CCQueue": NewCCQueue,
+	"MSQueue": NewMSQueue,
+	"FAA":     NewFAA,
+}
+
+// Names returns the registered queue names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named queue.
+func New(name string, cfg Config) (queueapi.Queue, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("queues: unknown queue %q (have %v)", name, Names())
+	}
+	return b(cfg)
+}
+
+// RealQueues lists the names that are actual FIFO queues (excludes the
+// FAA pseudo-queue), in the paper's figure order.
+func RealQueues() []string {
+	return []string{"wCQ", "SCQ", "LCRQ", "YMC", "CRTurn", "CCQueue", "MSQueue"}
+}
+
+// --- wCQ ---
+
+type wcqQueue struct {
+	q   *wcq.Queue[uint64]
+	cfg Config
+}
+
+type wcqHandle struct{ h *wcq.QueueHandle[uint64] }
+
+// NewWCQ builds the paper's contribution: the wait-free circular queue.
+func NewWCQ(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	opts := cfg.WCQOptions
+	if opts == nil {
+		opts = &wcq.Options{}
+	}
+	opts.Mode = cfg.Mode
+	q, err := wcq.NewQueue[uint64](cfg.Capacity, cfg.MaxThreads, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &wcqQueue{q: q, cfg: cfg}, nil
+}
+
+func (w *wcqQueue) Handle() (queueapi.Handle, error) {
+	h, err := w.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &wcqHandle{h: h}, nil
+}
+func (w *wcqQueue) Cap() uint64       { return w.q.Cap() }
+func (w *wcqQueue) Footprint() uint64 { return w.q.Footprint() }
+func (w *wcqQueue) Name() string      { return "wCQ" }
+
+func (h *wcqHandle) Enqueue(v uint64) bool   { return h.h.Enqueue(v) }
+func (h *wcqHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
+
+// --- SCQ ---
+
+type scqQueue struct{ q *scq.Queue[uint64] }
+type scqHandle struct{ q *scq.Queue[uint64] }
+
+// NewSCQ builds the lock-free substrate queue.
+func NewSCQ(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	q, err := scq.NewQueue[uint64](cfg.Capacity, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return &scqQueue{q: q}, nil
+}
+
+func (w *scqQueue) Handle() (queueapi.Handle, error) { return &scqHandle{q: w.q}, nil }
+func (w *scqQueue) Cap() uint64                      { return w.q.Cap() }
+func (w *scqQueue) Footprint() uint64                { return w.q.Footprint() }
+func (w *scqQueue) Name() string                     { return "SCQ" }
+
+func (h *scqHandle) Enqueue(v uint64) bool   { return h.q.Enqueue(v) }
+func (h *scqHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
+
+// --- LCRQ ---
+
+type lcrqQueue struct{ q *lcrq.Queue }
+type lcrqHandle struct{ q *lcrq.Queue }
+
+// NewLCRQ builds the Morrison & Afek queue. It is excluded from the
+// emulated-F&A (PowerPC) figures, as in the paper; construction under
+// EmulatedFAA fails so harnesses skip it explicitly.
+func NewLCRQ(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode == atomicx.EmulatedFAA {
+		return nil, fmt.Errorf("lcrq: not available without CAS2 (the paper omits it on PowerPC)")
+	}
+	return &lcrqQueue{q: lcrq.New(cfg.LCRQOrder)}, nil
+}
+
+func (w *lcrqQueue) Handle() (queueapi.Handle, error) { return &lcrqHandle{q: w.q}, nil }
+func (w *lcrqQueue) Cap() uint64                      { return 0 }
+func (w *lcrqQueue) Footprint() uint64 {
+	return uint64(w.q.RingsAllocated()) * w.q.FootprintPerRing()
+}
+func (w *lcrqQueue) Name() string { return "LCRQ" }
+
+func (h *lcrqHandle) Enqueue(v uint64) bool   { h.q.Enqueue(v); return true }
+func (h *lcrqHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
+
+// --- YMC ---
+
+type ymcQueue struct{ q *ymc.Queue }
+type ymcHandle struct{ h *ymc.Handle }
+
+// NewYMC builds the Yang & Mellor-Crummey baseline.
+func NewYMC(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	return &ymcQueue{q: ymc.New(cfg.MaxThreads)}, nil
+}
+
+func (w *ymcQueue) Handle() (queueapi.Handle, error) {
+	h, err := w.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &ymcHandle{h: h}, nil
+}
+func (w *ymcQueue) Cap() uint64 { return 0 }
+func (w *ymcQueue) Footprint() uint64 {
+	return uint64(w.q.SegsAllocated()) * (1 << ymc.SegOrder) * 24
+}
+func (w *ymcQueue) Name() string { return "YMC" }
+
+func (h *ymcHandle) Enqueue(v uint64) bool   { h.h.Enqueue(v); return true }
+func (h *ymcHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
+
+// --- CRTurn ---
+
+type crturnQueue struct{ q *crturn.Queue }
+type crturnHandle struct{ h *crturn.Handle }
+
+// NewCRTurn builds the Ramalhete & Correia wait-free baseline.
+func NewCRTurn(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	return &crturnQueue{q: crturn.New(cfg.MaxThreads)}, nil
+}
+
+func (w *crturnQueue) Handle() (queueapi.Handle, error) {
+	h, err := w.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &crturnHandle{h: h}, nil
+}
+func (w *crturnQueue) Cap() uint64       { return 0 }
+func (w *crturnQueue) Footprint() uint64 { return 0 }
+func (w *crturnQueue) Name() string      { return "CRTurn" }
+
+func (h *crturnHandle) Enqueue(v uint64) bool   { h.h.Enqueue(v); return true }
+func (h *crturnHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
+
+// --- CCQueue ---
+
+type ccqQueue struct{ q *ccq.Queue }
+type ccqHandle struct{ h *ccq.Handle }
+
+// NewCCQueue builds the flat-combining baseline.
+func NewCCQueue(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	return &ccqQueue{q: ccq.New(cfg.MaxThreads)}, nil
+}
+
+func (w *ccqQueue) Handle() (queueapi.Handle, error) {
+	h, ok := w.q.Register()
+	if !ok {
+		return nil, fmt.Errorf("ccq: thread census exhausted")
+	}
+	return &ccqHandle{h: h}, nil
+}
+func (w *ccqQueue) Cap() uint64       { return 0 }
+func (w *ccqQueue) Footprint() uint64 { return 0 }
+func (w *ccqQueue) Name() string      { return "CCQueue" }
+
+func (h *ccqHandle) Enqueue(v uint64) bool   { h.h.Enqueue(v); return true }
+func (h *ccqHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
+
+// --- MSQueue ---
+
+type msqQueue struct{ q *msq.Queue }
+type msqHandle struct{ q *msq.Queue }
+
+// NewMSQueue builds the Michael & Scott baseline.
+func NewMSQueue(cfg Config) (queueapi.Queue, error) {
+	return &msqQueue{q: msq.New()}, nil
+}
+
+func (w *msqQueue) Handle() (queueapi.Handle, error) { return &msqHandle{q: w.q}, nil }
+func (w *msqQueue) Cap() uint64                      { return 0 }
+func (w *msqQueue) Footprint() uint64                { return 0 }
+func (w *msqQueue) Name() string                     { return "MSQueue" }
+
+func (h *msqHandle) Enqueue(v uint64) bool   { h.q.Enqueue(v); return true }
+func (h *msqHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
+
+// --- FAA pseudo-queue ---
+
+type faaQueue struct{ q *faa.Queue }
+type faaHandle struct{ q *faa.Queue }
+
+// NewFAA builds the F&A throughput ceiling. NOT a real queue; never
+// feed it to the correctness checker.
+func NewFAA(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	return &faaQueue{q: faa.New(cfg.Mode)}, nil
+}
+
+func (w *faaQueue) Handle() (queueapi.Handle, error) { return &faaHandle{q: w.q}, nil }
+func (w *faaQueue) Cap() uint64                      { return 0 }
+func (w *faaQueue) Footprint() uint64                { return 0 }
+func (w *faaQueue) Name() string                     { return "FAA" }
+
+func (h *faaHandle) Enqueue(v uint64) bool   { h.q.Enqueue(v); return true }
+func (h *faaHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }

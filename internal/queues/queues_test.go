@@ -1,0 +1,204 @@
+// Cross-implementation conformance suite: every real queue must pass
+// the same MPMC correctness checks (no loss, no duplication,
+// per-producer FIFO, strict SPSC order, full/empty drains).
+package queues
+
+import (
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/checker"
+)
+
+func testCfg() Config {
+	return Config{Capacity: 256, MaxThreads: 32}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Names()) != 8 {
+		t.Fatalf("registry has %d entries: %v", len(Names()), Names())
+	}
+	if _, err := New("nope", testCfg()); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, n := range Names() {
+		q, err := New(n, testCfg())
+		if err != nil {
+			t.Fatalf("building %s: %v", n, err)
+		}
+		if q.Name() != n {
+			t.Fatalf("built %q, asked for %q", q.Name(), n)
+		}
+	}
+}
+
+func TestLCRQUnavailableUnderEmulation(t *testing.T) {
+	cfg := testCfg()
+	cfg.Mode = atomicx.EmulatedFAA
+	if _, err := New("LCRQ", cfg); err == nil {
+		t.Fatal("LCRQ built under emulated F&A; the paper omits it on PowerPC")
+	}
+}
+
+func TestSPSCOrder(t *testing.T) {
+	for _, name := range RealQueues() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := checker.RunSPSC(q, 30000); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDrainCycles(t *testing.T) {
+	for _, name := range RealQueues() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := checker.RunDrain(q, 20000); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMPMCExactlyOnce(t *testing.T) {
+	for _, name := range RealQueues() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = checker.Run(q, checker.Config{
+				Producers: 4, Consumers: 4, PerProducer: 5000, Capacity: 256,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMPMCEmulatedFAA(t *testing.T) {
+	// The PowerPC configuration: every F&A is a CAS loop; LCRQ excluded.
+	for _, name := range RealQueues() {
+		if name == "LCRQ" {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := testCfg()
+			cfg.Mode = atomicx.EmulatedFAA
+			q, err := New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = checker.Run(q, checker.Config{
+				Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 256,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMPMCAsymmetric(t *testing.T) {
+	// Many producers, one consumer and vice versa stress different
+	// contention corners (ring wrap vs. emptiness detection).
+	shapes := []struct{ p, c int }{{6, 1}, {1, 6}}
+	for _, name := range RealQueues() {
+		for _, sh := range shapes {
+			name, sh := name, sh
+			t.Run(name, func(t *testing.T) {
+				q, err := New(name, testCfg())
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = checker.Run(q, checker.Config{
+					Producers: sh.p, Consumers: sh.c, PerProducer: 3000, Capacity: 256,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestWCQTinyCapacityContention(t *testing.T) {
+	// Tiny rings maximize wrap-around and slow-path traffic for the
+	// bounded queues.
+	for _, name := range []string{"wCQ", "SCQ"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := testCfg()
+			cfg.Capacity = 4
+			q, err := New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = checker.Run(q, checker.Config{
+				Producers: 3, Consumers: 3, PerProducer: 4000, Capacity: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBoundedFullBehaviour(t *testing.T) {
+	// Bounded queues must report full exactly at capacity.
+	for _, name := range []string{"wCQ", "SCQ"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := testCfg()
+			cfg.Capacity = 8
+			q, err := New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				if !h.Enqueue(uint64(i)) {
+					t.Fatalf("full at %d, capacity 8", i)
+				}
+			}
+			if h.Enqueue(99) {
+				t.Fatal("enqueue beyond capacity succeeded")
+			}
+			if q.Cap() != 8 {
+				t.Fatalf("Cap() = %d", q.Cap())
+			}
+		})
+	}
+}
+
+func TestFootprintSemantics(t *testing.T) {
+	// wCQ and SCQ have fixed footprints; LCRQ's grows with allocated
+	// rings.
+	cfg := testCfg()
+	for _, name := range []string{"wCQ", "SCQ"} {
+		q, _ := New(name, cfg)
+		if q.Footprint() == 0 {
+			t.Errorf("%s: zero footprint", name)
+		}
+	}
+	q, _ := New("LCRQ", cfg)
+	if q.Footprint() == 0 {
+		t.Error("LCRQ: zero initial footprint (has one ring)")
+	}
+}

@@ -1,0 +1,373 @@
+// Package scq implements SCQ, the Scalable Circular Queue of Nikolaev
+// (DISC '19), exactly as restated in Figure 3 of the wCQ paper
+// (SPAA '22). SCQ is the lock-free substrate that wCQ extends with a
+// wait-free slow path; it is also one of the evaluation baselines.
+//
+// A Ring is a bounded MPMC FIFO of small integer indices in [0, n).
+// Following the paper it allocates 2n slots for n usable entries and
+// maintains a Threshold of 3n-1 so that dequeuers detect emptiness in
+// a lock-free way without ever closing the ring (the LCRQ approach) or
+// needing helping (the YMC approach).
+//
+// Each 64-bit slot packs {Cycle, IsSafe, Index}:
+//
+//	bits [0, o)    Index      (o = log2(2n); holds ⊥ = 2n-2, ⊥c = 2n-1)
+//	bit  o         IsSafe
+//	bits (o, 63]   Cycle      (monotonic, 63-o bits — never wraps in practice)
+//
+// Queue[T] layers arbitrary fixed-size data on top of two Rings via the
+// paper's Figure 2 indirection: fq holds free indices, aq holds
+// allocated ones, and a plain data array carries the payloads.
+package scq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/pad"
+	"repro/internal/ring"
+)
+
+// MaxCatchup bounds the catchup loop. In SCQ catchup is a pure
+// performance optimization (the paper bounds it explicitly only in
+// wCQ); we bound it here too so both variants share the property.
+const MaxCatchup = 64
+
+// Ring is a bounded lock-free MPMC queue of indices in [0, Cap()).
+type Ring struct {
+	order   uint   // log2(nSlots)
+	nSlots  uint64 // 2n
+	n       uint64 // usable capacity
+	posMask uint64 // nSlots-1
+	idxMask uint64 // nSlots-1 (index field width == position width)
+	bottom  uint64 // ⊥  = 2n-2: slot empty, never consumed this cycle
+	bottomC uint64 // ⊥c = 2n-1: slot consumed
+	thresh3 int64  // 3n-1
+	emulate bool   // EmulatedFAA mode (PowerPC-style CAS loops)
+
+	_         pad.Line
+	tail      atomicx.Counter
+	_         pad.Line
+	head      atomicx.Counter
+	_         pad.Line
+	threshold atomic.Int64
+	_         pad.Line
+
+	entries []atomic.Uint64
+}
+
+// NewRing returns an empty Ring holding up to capacity indices, each in
+// [0, capacity). capacity must be a power of two >= 2.
+func NewRing(capacity uint64, mode atomicx.Mode) (*Ring, error) {
+	if capacity < 2 || !ring.IsPow2(capacity) {
+		return nil, fmt.Errorf("scq: capacity %d must be a power of two >= 2", capacity)
+	}
+	nSlots := 2 * capacity
+	q := &Ring{
+		order:   ring.Order(nSlots),
+		nSlots:  nSlots,
+		n:       capacity,
+		posMask: nSlots - 1,
+		idxMask: nSlots - 1,
+		bottom:  nSlots - 2,
+		bottomC: nSlots - 1,
+		thresh3: int64(3*capacity - 1),
+		emulate: mode == atomicx.EmulatedFAA,
+		entries: make([]atomic.Uint64, nSlots),
+	}
+	q.tail.Init(mode, nSlots) // start at cycle 1 so entries at cycle 0 read "old"
+	q.head.Init(mode, nSlots)
+	q.threshold.Store(-1) // empty
+	empty := q.pack(0, 1, q.bottom)
+	for i := range q.entries {
+		q.entries[i].Store(empty)
+	}
+	return q, nil
+}
+
+// NewFullRing returns a Ring pre-filled with the indices 0..capacity-1
+// in order, the state a free-index ring (fq) starts in.
+func NewFullRing(capacity uint64, mode atomicx.Mode) (*Ring, error) {
+	q, err := NewRing(capacity, mode)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < capacity; i++ {
+		// Single-threaded: the fast path cannot fail.
+		for t, ok := q.TryEnqueue(i); !ok; t, ok = q.TryEnqueue(i) {
+			_ = t
+		}
+	}
+	return q, nil
+}
+
+// Cap returns the usable capacity n.
+func (q *Ring) Cap() uint64 { return q.n }
+
+// Footprint returns the statically allocated size of the ring in bytes
+// (used by the Figure 10a memory-usage reproduction).
+func (q *Ring) Footprint() uint64 {
+	return uint64(len(q.entries))*8 + 4*pad.CacheLineSize
+}
+
+// pack assembles an entry word from cycle, safe bit and index.
+func (q *Ring) pack(cycle, safe, index uint64) uint64 {
+	return cycle<<(q.order+1) | safe<<q.order | index
+}
+
+func (q *Ring) unpack(w uint64) (cycle, safe, index uint64) {
+	return w >> (q.order + 1), w >> q.order & 1, w & q.idxMask
+}
+
+// cycleOf maps a Head/Tail counter value to its ring cycle.
+func (q *Ring) cycleOf(c uint64) uint64 { return c >> q.order }
+
+// thresholdFAA atomically adds d to Threshold and returns the PREVIOUS
+// value, honoring the emulated-F&A mode.
+func (q *Ring) thresholdFAA(d int64) int64 {
+	if !q.emulate {
+		return q.threshold.Add(d) - d
+	}
+	for {
+		old := q.threshold.Load()
+		if q.threshold.CompareAndSwap(old, old+d) {
+			return old
+		}
+	}
+}
+
+// entryOr ORs bits into an entry word, honoring the emulated mode the
+// same way consume() does in the paper (§3.3: OR may be emulated with
+// CAS on architectures that lack it).
+func (q *Ring) entryOr(e *atomic.Uint64, bits uint64) {
+	if !q.emulate {
+		e.Or(bits)
+		return
+	}
+	for {
+		old := e.Load()
+		if old&bits == bits {
+			return
+		}
+		if e.CompareAndSwap(old, old|bits) {
+			return
+		}
+	}
+}
+
+// Drained reports whether the head counter has caught the tail
+// counter, i.e. every issued enqueue ticket has been examined by a
+// dequeuer.
+func (q *Ring) Drained() bool { return q.head.Load() >= q.tail.Load() }
+
+// TryEnqueue performs one fast-path enqueue attempt (try_enq in
+// Fig. 3). On failure it returns the Tail ticket it consumed, which the
+// wait-free layer uses to seed its slow path; SCQ itself just retries.
+func (q *Ring) TryEnqueue(index uint64) (ticket uint64, ok bool) {
+	t := q.tail.Add(1)
+	tCycle := q.cycleOf(t)
+	j := ring.Remap(t&q.posMask, q.order)
+	e := &q.entries[j]
+	for {
+		w := e.Load()
+		eCycle, safe, idx := q.unpack(w)
+		if eCycle < tCycle &&
+			(idx == q.bottom || idx == q.bottomC) &&
+			(safe == 1 || q.head.Load() <= t) {
+			if !e.CompareAndSwap(w, q.pack(tCycle, 1, index)) {
+				continue // the entry changed; re-examine it
+			}
+			if q.threshold.Load() != q.thresh3 {
+				q.threshold.Store(q.thresh3)
+			}
+			return 0, true
+		}
+		return t, false
+	}
+}
+
+// Enqueue inserts index, retrying the fast path until it succeeds.
+// Like the paper's Enqueue_SCQ it never reports "full": the intended
+// usage (aq/fq index rings) guarantees at most n live indices.
+func (q *Ring) Enqueue(index uint64) {
+	for {
+		if _, ok := q.TryEnqueue(index); ok {
+			return
+		}
+	}
+}
+
+// Deq status codes shared with the wait-free layer.
+type deqStatus uint8
+
+const (
+	deqRetry deqStatus = iota
+	deqGot
+	deqEmpty
+)
+
+// TryDequeue performs one fast-path dequeue attempt (try_deq in
+// Fig. 3).
+func (q *Ring) tryDequeue() (ticket, index uint64, st deqStatus) {
+	h := q.head.Add(1)
+	hCycle := q.cycleOf(h)
+	j := ring.Remap(h&q.posMask, q.order)
+	e := &q.entries[j]
+	for {
+		w := e.Load()
+		eCycle, safe, idx := q.unpack(w)
+		if eCycle == hCycle {
+			// consume: set the index bits to ⊥c, keep cycle/safe.
+			q.entryOr(e, q.bottomC)
+			return 0, idx, deqGot
+		}
+		var nw uint64
+		if idx == q.bottom || idx == q.bottomC {
+			nw = q.pack(hCycle, safe, q.bottom)
+		} else {
+			nw = q.pack(eCycle, 0, idx) // mark unsafe, keep the value
+		}
+		if eCycle < hCycle {
+			if !e.CompareAndSwap(w, nw) {
+				continue
+			}
+		}
+		// Unable to consume at this position: check for emptiness.
+		t := q.tail.Load()
+		if t <= h+1 {
+			q.catchup(t, h+1)
+			q.thresholdFAA(-1)
+			return 0, 0, deqEmpty
+		}
+		if q.thresholdFAA(-1) <= 0 {
+			return 0, 0, deqEmpty
+		}
+		return h, 0, deqRetry
+	}
+}
+
+// Dequeue removes and returns the oldest index. ok is false when the
+// queue is empty.
+func (q *Ring) Dequeue() (index uint64, ok bool) {
+	if q.threshold.Load() < 0 {
+		return 0, false
+	}
+	for {
+		_, idx, st := q.tryDequeue()
+		switch st {
+		case deqGot:
+			return idx, true
+		case deqEmpty:
+			return 0, false
+		}
+	}
+}
+
+// catchup advances Tail to Head when dequeuers have overrun all
+// enqueuers (so that subsequent empty checks exit quickly). Bounded to
+// MaxCatchup iterations; it is purely a performance aid.
+func (q *Ring) catchup(tail, head uint64) {
+	for i := 0; i < MaxCatchup; i++ {
+		if q.tail.CompareAndSwap(tail, head) {
+			return
+		}
+		head = q.head.Load()
+		tail = q.tail.Load()
+		if tail >= head {
+			return
+		}
+	}
+}
+
+// Queue is a bounded lock-free MPMC queue of arbitrary values, built
+// from two Rings and a data array via the paper's Figure 2 indirection.
+type Queue[T any] struct {
+	aq   *Ring
+	fq   *Ring
+	data []T
+
+	// Sealing state for the unbounded (Appendix A) construction. An
+	// enqueue registers in inflight BEFORE checking sealed; Drained
+	// therefore implies no enqueue can ever land again.
+	_        pad.Line
+	sealed   atomic.Bool
+	inflight atomic.Int64
+	_        pad.Line
+}
+
+// NewQueue returns an empty Queue holding up to capacity values.
+// capacity must be a power of two >= 2.
+func NewQueue[T any](capacity uint64, mode atomicx.Mode) (*Queue[T], error) {
+	aq, err := NewRing(capacity, mode)
+	if err != nil {
+		return nil, err
+	}
+	fq, err := NewFullRing(capacity, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[T]{aq: aq, fq: fq, data: make([]T, capacity)}, nil
+}
+
+// Enqueue appends v. It returns false when the queue is full.
+func (q *Queue[T]) Enqueue(v T) bool {
+	idx, ok := q.fq.Dequeue()
+	if !ok {
+		return false
+	}
+	q.data[idx] = v
+	q.aq.Enqueue(idx)
+	return true
+}
+
+// Seal closes the queue for enqueues: EnqueueSealed fails once the
+// seal is visible. Dequeues drain the remaining elements normally.
+func (q *Queue[T]) Seal() { q.sealed.Store(true) }
+
+// Drained reports that no value can ever be produced by this queue
+// again: it is sealed, no enqueue is in flight, and every enqueue
+// ticket has been examined. The in-flight counter is incremented
+// BEFORE the seal check in EnqueueSealed, so (with sequentially
+// consistent atomics) observing sealed && inflight==0 proves any
+// future EnqueueSealed will observe the seal and fail.
+func (q *Queue[T]) Drained() bool {
+	return q.sealed.Load() && q.inflight.Load() == 0 && q.aq.Drained()
+}
+
+// EnqueueSealed appends v unless the queue is full or sealed.
+func (q *Queue[T]) EnqueueSealed(v T) bool {
+	q.inflight.Add(1)
+	defer q.inflight.Add(-1)
+	if q.sealed.Load() {
+		return false
+	}
+	return q.Enqueue(v)
+}
+
+// Dequeue removes and returns the oldest value. ok is false when the
+// queue is empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	idx, ok := q.aq.Dequeue()
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	v = q.data[idx]
+	var zero T
+	q.data[idx] = zero // drop references for GC hygiene
+	q.fq.Enqueue(idx)
+	return v, true
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() uint64 { return q.aq.n }
+
+// Footprint returns the statically allocated byte size (rings + data
+// array descriptor; excludes the payloads' own heap, which belongs to
+// the caller).
+func (q *Queue[T]) Footprint() uint64 {
+	var t T
+	_ = t
+	return q.aq.Footprint() + q.fq.Footprint() + uint64(cap(q.data))*8
+}

@@ -1,0 +1,70 @@
+// Package stats provides the summary statistics the paper's benchmark
+// reports: per-point mean throughput over repeated runs and the
+// coefficient of variation used to argue measurement stability
+// ("the coefficient of variation ... is small (< 0.01)").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of repeated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	CV     float64 // Std/Mean; 0 when Mean == 0
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	if s.Mean != 0 {
+		s.CV = s.Std / s.Mean
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}
+
+// String renders "mean ± std (cv=...)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (cv=%.3f)", s.Mean, s.Std, s.CV)
+}
+
+// Mops converts an operation count and elapsed seconds to millions of
+// operations per second.
+func Mops(ops int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(ops) / seconds / 1e6
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(s.Mean, 5) {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Fatalf("min/max/n %v %v %v", s.Min, s.Max, s.N)
+	}
+	if !almostEq(s.Median, 4.5) {
+		t.Fatalf("median %v", s.Median)
+	}
+	// Sample std of that classic set is sqrt(32/7).
+	if !almostEq(s.Std, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("std %v", s.Std)
+	}
+	if !almostEq(s.CV, s.Std/5) {
+		t.Fatalf("cv %v", s.CV)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.Std != 0 || s.CV != 0 || s.Median != 3.5 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeZeroMean(t *testing.T) {
+	s := Summarize([]float64{-1, 1})
+	if s.CV != 0 {
+		t.Fatalf("cv with zero mean: %v", s.CV)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMops(t *testing.T) {
+	if got := Mops(2_000_000, 2); !almostEq(got, 1) {
+		t.Fatalf("Mops = %v", got)
+	}
+	if Mops(100, 0) != 0 {
+		t.Fatal("Mops with zero time must be 0")
+	}
+}

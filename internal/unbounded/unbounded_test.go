@@ -1,0 +1,217 @@
+package unbounded
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/atomicx"
+)
+
+type maker func(t *testing.T, ringCap uint64) *Queue
+
+func makers() map[string]maker {
+	return map[string]maker{
+		"LSCQ": func(t *testing.T, rc uint64) *Queue {
+			q, err := NewLSCQ(rc, atomicx.NativeFAA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+		"UWCQ": func(t *testing.T, rc uint64) *Queue {
+			q, err := NewUWCQ(rc, 64, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+	}
+}
+
+func TestUnboundedSequentialGrowth(t *testing.T) {
+	for name, mk := range makers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			q := mk(t, 8) // tiny rings force frequent ring turnover
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 1000
+			for i := uint64(0); i < n; i++ {
+				if err := h.Enqueue(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if q.RingsAllocated() < int64(n/8) {
+				t.Fatalf("only %d rings for %d values in cap-8 rings", q.RingsAllocated(), n)
+			}
+			for i := uint64(0); i < n; i++ {
+				v, ok, err := h.Dequeue()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok || v != i {
+					t.Fatalf("got (%d,%v), want (%d,true)", v, ok, i)
+				}
+			}
+			if _, ok, _ := h.Dequeue(); ok {
+				t.Fatal("phantom value after drain")
+			}
+		})
+	}
+}
+
+func TestUnboundedInterleavedSmallRings(t *testing.T) {
+	for name, mk := range makers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			q := mk(t, 4)
+			h, _ := q.Handle()
+			next, exp := uint64(0), uint64(0)
+			for round := 0; round < 500; round++ {
+				for k := 0; k < 7; k++ { // deliberately > ring cap
+					if err := h.Enqueue(next); err != nil {
+						t.Fatal(err)
+					}
+					next++
+				}
+				for k := 0; k < 7; k++ {
+					v, ok, err := h.Dequeue()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok || v != exp {
+						t.Fatalf("round %d: got (%d,%v), want %d", round, v, ok, exp)
+					}
+					exp++
+				}
+			}
+		})
+	}
+}
+
+func TestUnboundedMPMC(t *testing.T) {
+	for name, mk := range makers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			q := mk(t, 16)
+			const (
+				producers = 3
+				consumers = 3
+				per       = 4000
+			)
+			total := producers * per
+			var got atomic.Int64
+			seen := make([]atomic.Int32, total)
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				h, err := q.Handle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(p int, h *Handle) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := h.Enqueue(uint64(p*per + i)); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(p, h)
+			}
+			for c := 0; c < consumers; c++ {
+				h, err := q.Handle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(h *Handle) {
+					defer wg.Done()
+					for got.Load() < int64(total) {
+						v, ok, err := h.Dequeue()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if !ok {
+							runtime.Gosched()
+							continue
+						}
+						seen[v].Add(1)
+						got.Add(1)
+					}
+				}(h)
+			}
+			wg.Wait()
+			for i := range seen {
+				if n := seen[i].Load(); n != 1 {
+					t.Fatalf("value %d delivered %d times (rings=%d)", i, n, q.RingsAllocated())
+				}
+			}
+		})
+	}
+}
+
+func TestUnboundedFootprintGrows(t *testing.T) {
+	q, err := NewLSCQ(8, atomicx.NativeFAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := q.Handle()
+	f0 := q.Footprint()
+	for i := uint64(0); i < 200; i++ {
+		h.Enqueue(i) // never dequeue: rings accumulate
+	}
+	if q.Footprint() <= f0 {
+		t.Fatalf("footprint did not grow: %d -> %d", f0, q.Footprint())
+	}
+}
+
+func TestUnboundedPerProducerFIFOAcrossRings(t *testing.T) {
+	// One producer, one consumer, ring turnover in the middle: strict
+	// order must survive ring boundaries.
+	q, err := NewUWCQ(4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, _ := q.Handle()
+	hc, _ := q.Handle()
+	const n = 5000
+	done := make(chan error, 1)
+	go func() {
+		next := uint64(0)
+		for next < n {
+			v, ok, err := hc.Dequeue()
+			if err != nil {
+				done <- err
+				return
+			}
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if v != next {
+				done <- errOrder{v, next}
+				return
+			}
+			next++
+		}
+		done <- nil
+	}()
+	for i := uint64(0); i < n; i++ {
+		if err := hp.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errOrder struct{ got, want uint64 }
+
+func (e errOrder) Error() string { return "out of order" }

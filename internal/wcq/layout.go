@@ -1,0 +1,164 @@
+// Package wcq implements wCQ — the wait-free circular queue of
+// Nikolaev & Ravindran (SPAA '22) — the primary contribution this
+// repository reproduces.
+//
+// wCQ extends the lock-free SCQ ring with a helping-based slow path so
+// that EVERY thread completes every operation in a bounded number of
+// steps, while allocating no memory after construction (the paper's
+// thesis: bounded memory is a precondition of true wait-freedom).
+//
+// # Word layout (the no-DWCAS substitution)
+//
+// The paper updates ring entries with double-width CAS over the pair
+// {Note, Value{Cycle, IsSafe, Enq, Index}}. Go has no 128-bit CAS, so —
+// following the reduced-width scheme the paper itself proposes for
+// LL/SC architectures (§4) — we pack the entire pair into one 64-bit
+// word (o = log2(2n), w = (62-o)/2 bits per cycle field):
+//
+//	bits [0, o)            Index   (⊥ = 2n-2, ⊥c = 2n-1)
+//	bit  o                 Enq     (two-step insertion marker)
+//	bit  o+1               IsSafe
+//	bits [o+2, o+2+w)      Value.Cycle  (truncated to w bits)
+//	bits [o+2+w, o+2+2w)   Note         (a cycle; 0 = "no note")
+//
+// A single-word CAS atomically covers both halves, which is strictly
+// stronger than the paper's CAS2. The price is cycle truncation: the
+// queue supports ~2^(w+o) operations before a cycle field could wrap
+// (>= 2^39 ≈ 5·10^11 operations for the paper's 2^16-entry ring, far
+// beyond any benchmark in the paper). Capacity is capped so that w >= 16.
+//
+// The global Head and Tail are {counter, phase2-pointer} pairs in the
+// paper; we pack them as a 48-bit counter plus a 16-bit thread index
+// (0 = null), exactly the substitution §4 recommends.
+//
+// Thread-local head/tail values carry two flag bits above the 48-bit
+// counter: INC (increment in phase 1) and FIN (request finished).
+package wcq
+
+import "fmt"
+
+const (
+	// cntBits is the width of the packed global Head/Tail counter.
+	cntBits = 48
+	// cntMask extracts the counter from a packed global word or a
+	// thread-local head/tail value.
+	cntMask = (uint64(1) << cntBits) - 1
+	// flagINC marks a thread-local counter whose global increment is in
+	// phase 1 (tentative).
+	flagINC = uint64(1) << 62
+	// flagFIN marks a finished help request; it stops all helpers.
+	flagFIN = uint64(1) << 63
+	// tidShift positions the thread-index (+1) in a global word.
+	tidShift = cntBits
+	// MaxThreads is the largest registrable thread census (the thread
+	// index must fit in 16 bits, with 0 reserved for "null").
+	MaxThreads = 1<<16 - 1
+	// minCycleBits is the smallest tolerated cycle-field width.
+	minCycleBits = 16
+)
+
+// packGlobal builds a global Head/Tail word from a counter and a
+// phase2 thread index (tidp = tid+1; 0 means "no request").
+func packGlobal(cnt, tidp uint64) uint64 { return tidp<<tidShift | cnt&cntMask }
+
+// globalCnt extracts the counter component.
+func globalCnt(w uint64) uint64 { return w & cntMask }
+
+// globalTidp extracts the thread-index-plus-one component.
+func globalTidp(w uint64) uint64 { return w >> tidShift }
+
+// layout holds the per-ring bit-field geometry.
+type layout struct {
+	order     uint   // log2(nSlots)
+	nSlots    uint64 // 2n
+	posMask   uint64 // nSlots-1
+	idxMask   uint64 // index field mask (== posMask)
+	enqBit    uint64 // 1 << order
+	safeBit   uint64 // 1 << (order+1)
+	cycBits   uint   // w
+	cycMask   uint64 // (1<<w)-1
+	vcShift   uint   // order+2
+	noteShift uint   // order+2+w
+	bottom    uint64 // ⊥
+	bottomC   uint64 // ⊥c
+}
+
+func newLayout(capacity uint64) (layout, error) {
+	if capacity < 2 {
+		return layout{}, fmt.Errorf("wcq: capacity %d must be >= 2", capacity)
+	}
+	if capacity&(capacity-1) != 0 {
+		return layout{}, fmt.Errorf("wcq: capacity %d must be a power of two", capacity)
+	}
+	nSlots := 2 * capacity
+	var order uint
+	for uint64(1)<<order < nSlots {
+		order++
+	}
+	w := (62 - order) / 2
+	if w < minCycleBits {
+		return layout{}, fmt.Errorf("wcq: capacity %d too large (cycle field %d bits < %d)", capacity, w, minCycleBits)
+	}
+	l := layout{
+		order:     order,
+		nSlots:    nSlots,
+		posMask:   nSlots - 1,
+		idxMask:   nSlots - 1,
+		enqBit:    1 << order,
+		safeBit:   1 << (order + 1),
+		cycBits:   w,
+		cycMask:   (uint64(1) << w) - 1,
+		vcShift:   order + 2,
+		noteShift: order + 2 + w,
+		bottom:    nSlots - 2,
+		bottomC:   nSlots - 1,
+	}
+	return l, nil
+}
+
+// entry is the unpacked view of a slot word.
+type entry struct {
+	note  uint64 // cycle recorded by "avert" operations; 0 = none
+	cycle uint64 // Value.Cycle
+	safe  bool
+	enq   bool
+	index uint64
+}
+
+// pack assembles the slot word.
+func (l *layout) pack(e entry) uint64 {
+	w := e.note<<l.noteShift | e.cycle<<l.vcShift | e.index
+	if e.safe {
+		w |= l.safeBit
+	}
+	if e.enq {
+		w |= l.enqBit
+	}
+	return w
+}
+
+// unpack splits a slot word.
+func (l *layout) unpack(w uint64) entry {
+	return entry{
+		note:  w >> l.noteShift & l.cycMask,
+		cycle: w >> l.vcShift & l.cycMask,
+		safe:  w&l.safeBit != 0,
+		enq:   w&l.enqBit != 0,
+		index: w & l.idxMask,
+	}
+}
+
+// withNote returns w with only the Note field replaced — the paper's
+// "avert" CAS2 that keeps Value intact.
+func (l *layout) withNote(w, note uint64) uint64 {
+	return w&^(l.cycMask<<l.noteShift) | note<<l.noteShift
+}
+
+// cycleOf maps a Head/Tail counter value to its (truncated) ring cycle.
+func (l *layout) cycleOf(c uint64) uint64 { return c >> l.order & l.cycMask }
+
+// initialWord is the slot state at construction: {Note: none,
+// Cycle 0, IsSafe, Enq, Index ⊥}.
+func (l *layout) initialWord() uint64 {
+	return l.pack(entry{note: 0, cycle: 0, safe: true, enq: true, index: l.bottom})
+}

@@ -1,0 +1,147 @@
+package wcq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	for _, c := range []uint64{0, 1, 3, 12, 1 << 40} {
+		if _, err := newLayout(c); err == nil {
+			t.Errorf("capacity %d: expected error", c)
+		}
+	}
+	for _, c := range []uint64{2, 8, 1 << 10, 1 << 16} {
+		if _, err := newLayout(c); err != nil {
+			t.Errorf("capacity %d: unexpected error %v", c, err)
+		}
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l, err := newLayout(1 << 16) // the paper's benchmark ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.nSlots != 1<<17 || l.order != 17 {
+		t.Fatalf("nSlots=%d order=%d", l.nSlots, l.order)
+	}
+	if l.cycBits != 22 { // (62-17)/2
+		t.Fatalf("cycBits=%d, want 22", l.cycBits)
+	}
+	if l.bottom != 1<<17-2 || l.bottomC != 1<<17-1 {
+		t.Fatalf("bottom=%d bottomC=%d", l.bottom, l.bottomC)
+	}
+	// The top of the note field must stay within 64 bits.
+	if uint(l.noteShift)+l.cycBits > 64 {
+		t.Fatalf("note field overflows the word: shift %d width %d", l.noteShift, l.cycBits)
+	}
+}
+
+func TestEntryPackUnpackRoundTrip(t *testing.T) {
+	l, _ := newLayout(64)
+	f := func(note, cycle uint32, safe, enq bool, idx uint8) bool {
+		e := entry{
+			note:  uint64(note) & l.cycMask,
+			cycle: uint64(cycle) & l.cycMask,
+			safe:  safe,
+			enq:   enq,
+			index: uint64(idx) & l.idxMask,
+		}
+		return l.unpack(l.pack(e)) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithNoteKeepsValue(t *testing.T) {
+	l, _ := newLayout(16)
+	f := func(note, cycle uint16, safe, enq bool, idx uint8, newNote uint16) bool {
+		e := entry{
+			note:  uint64(note) & l.cycMask,
+			cycle: uint64(cycle) & l.cycMask,
+			safe:  safe,
+			enq:   enq,
+			index: uint64(idx) & l.idxMask,
+		}
+		nn := uint64(newNote) & l.cycMask
+		got := l.unpack(l.withNote(l.pack(e), nn))
+		e.note = nn
+		return got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsumeORSetsBottomC(t *testing.T) {
+	// OR-ing in ⊥c|enqBit must turn any real index into ⊥c with Enq=1
+	// while preserving cycle, safe and note — the consume() invariant.
+	l, _ := newLayout(32)
+	f := func(note, cycle uint16, safe bool, idx uint8) bool {
+		e := entry{
+			note:  uint64(note) & l.cycMask,
+			cycle: uint64(cycle) & l.cycMask,
+			safe:  safe,
+			enq:   false,
+			index: uint64(idx) & l.idxMask,
+		}
+		w := l.pack(e) | l.bottomC | l.enqBit
+		got := l.unpack(w)
+		want := e
+		want.index = l.bottomC
+		want.enq = true
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalPacking(t *testing.T) {
+	f := func(cnt uint64, tid uint16) bool {
+		cnt &= cntMask
+		w := packGlobal(cnt, uint64(tid))
+		return globalCnt(w) == cnt && globalTidp(w) == uint64(tid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalFAALeavesTidIntact(t *testing.T) {
+	// A fast-path F&A(+1) on the packed word must not disturb the tid
+	// component (until a 2^48 counter overflow, which we do not model).
+	w := packGlobal(12345, 7)
+	w++
+	if globalTidp(w) != 7 || globalCnt(w) != 12346 {
+		t.Fatalf("after increment: cnt=%d tidp=%d", globalCnt(w), globalTidp(w))
+	}
+}
+
+func TestCycleOfTruncates(t *testing.T) {
+	l, _ := newLayout(8) // order 4
+	if l.cycleOf(16) != 1 || l.cycleOf(31) != 1 || l.cycleOf(32) != 2 {
+		t.Fatal("cycleOf arithmetic wrong")
+	}
+	// Truncation wraps at 2^w.
+	big := (uint64(1)<<l.cycBits + 3) << l.order
+	if l.cycleOf(big) != 3 {
+		t.Fatalf("cycleOf(big) = %d, want 3", l.cycleOf(big))
+	}
+}
+
+func TestFlagsDisjointFromCounter(t *testing.T) {
+	if flagINC&cntMask != 0 || flagFIN&cntMask != 0 || flagINC == flagFIN {
+		t.Fatal("flag bits overlap the counter")
+	}
+}
+
+func TestInitialWord(t *testing.T) {
+	l, _ := newLayout(4)
+	e := l.unpack(l.initialWord())
+	if e.cycle != 0 || !e.safe || !e.enq || e.index != l.bottom || e.note != 0 {
+		t.Fatalf("initial word unpacked to %+v", e)
+	}
+}

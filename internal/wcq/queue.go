@@ -1,0 +1,117 @@
+package wcq
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Queue is a bounded wait-free MPMC queue of arbitrary values, built
+// from two wait-free Rings and a data array via the paper's Figure 2
+// indirection: fq circulates free indices, aq circulates allocated
+// ones. All memory is allocated at construction.
+type Queue[T any] struct {
+	aq   *Ring
+	fq   *Ring
+	data []T
+
+	// Sealing state for the unbounded (Appendix A) construction; see
+	// Drained for the protocol.
+	sealed   atomic.Bool
+	inflight atomic.Int64
+}
+
+// QueueHandle is a registered thread's capability to operate on a
+// Queue. Like Handle it must not be shared between goroutines.
+type QueueHandle[T any] struct {
+	q   *Queue[T]
+	aqh *Handle
+	fqh *Handle
+}
+
+// NewQueue returns an empty Queue holding up to capacity values,
+// usable by at most maxThreads registered handles. capacity must be a
+// power of two >= 2.
+func NewQueue[T any](capacity uint64, maxThreads int, opts *Options) (*Queue[T], error) {
+	aq, err := NewRing(capacity, maxThreads, opts)
+	if err != nil {
+		return nil, err
+	}
+	fq, err := NewFullRing(capacity, maxThreads, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[T]{aq: aq, fq: fq, data: make([]T, capacity)}, nil
+}
+
+// Register allocates per-thread records in both underlying rings.
+func (q *Queue[T]) Register() (*QueueHandle[T], error) {
+	aqh, err := q.aq.Register()
+	if err != nil {
+		return nil, fmt.Errorf("wcq: registering with aq: %w", err)
+	}
+	fqh, err := q.fq.Register()
+	if err != nil {
+		return nil, fmt.Errorf("wcq: registering with fq: %w", err)
+	}
+	return &QueueHandle[T]{q: q, aqh: aqh, fqh: fqh}, nil
+}
+
+// Enqueue appends v; it returns false when the queue is full. The
+// operation is wait-free.
+func (h *QueueHandle[T]) Enqueue(v T) bool {
+	idx, ok := h.fqh.Dequeue()
+	if !ok {
+		return false
+	}
+	h.q.data[idx] = v
+	h.aqh.Enqueue(idx)
+	return true
+}
+
+// Dequeue removes and returns the oldest value; ok is false when the
+// queue is empty. The operation is wait-free.
+func (h *QueueHandle[T]) Dequeue() (v T, ok bool) {
+	idx, ok := h.aqh.Dequeue()
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	v = h.q.data[idx]
+	var zero T
+	h.q.data[idx] = zero // release references before recycling the slot
+	h.fqh.Enqueue(idx)
+	return v, true
+}
+
+// Seal closes the queue for enqueues (the appendix's finalize_wCQ):
+// EnqueueSealed fails once the seal is visible, while dequeues drain
+// the remaining elements normally.
+func (q *Queue[T]) Seal() { q.sealed.Store(true) }
+
+// Drained reports that no value can ever be produced by this queue
+// again: sealed, no enqueue in flight, and every enqueue ticket
+// examined. EnqueueSealed registers in inflight BEFORE checking the
+// seal, so with sequentially consistent atomics this is exact.
+func (q *Queue[T]) Drained() bool {
+	return q.sealed.Load() && q.inflight.Load() == 0 && q.aq.Drained()
+}
+
+// EnqueueSealed appends v unless the queue is full or sealed.
+func (h *QueueHandle[T]) EnqueueSealed(v T) bool {
+	q := h.q
+	q.inflight.Add(1)
+	defer q.inflight.Add(-1)
+	if q.sealed.Load() {
+		return false
+	}
+	return h.Enqueue(v)
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() uint64 { return q.aq.Cap() }
+
+// Footprint returns the statically allocated byte size of the queue
+// (both rings, thread records and the payload array slots).
+func (q *Queue[T]) Footprint() uint64 {
+	return q.aq.Footprint() + q.fq.Footprint() + uint64(cap(q.data))*8
+}

@@ -1,0 +1,431 @@
+package wcq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/pad"
+	"repro/internal/ring"
+)
+
+// Defaults match the paper's evaluation (§6) — patience 16/64 makes the
+// slow path "relatively infrequent" — and bounded catchup (§3.2).
+const (
+	DefaultEnqPatience = 16
+	DefaultDeqPatience = 64
+	DefaultHelpDelay   = 16
+	MaxCatchup         = 64
+)
+
+// Options tune a Ring. The zero value selects the paper's defaults and
+// native F&A.
+type Options struct {
+	// Mode selects native or CAS-emulated F&A (the Fig. 12 PowerPC
+	// configuration).
+	Mode atomicx.Mode
+	// EnqPatience / DeqPatience are the MAX_PATIENCE bounds on the
+	// fast path before falling back to the wait-free slow path.
+	EnqPatience int
+	DeqPatience int
+	// HelpDelay is the number of operations between help_threads scans.
+	HelpDelay int
+}
+
+func (o *Options) withDefaults() Options {
+	var v Options
+	if o != nil {
+		v = *o
+	}
+	if v.EnqPatience <= 0 {
+		v.EnqPatience = DefaultEnqPatience
+	}
+	if v.DeqPatience <= 0 {
+		v.DeqPatience = DefaultDeqPatience
+	}
+	if v.HelpDelay <= 0 {
+		v.HelpDelay = DefaultHelpDelay
+	}
+	return v
+}
+
+// Ring is a bounded wait-free MPMC queue of indices in [0, Cap()).
+// All memory is allocated at construction; operations never allocate.
+type Ring struct {
+	lay     layout
+	n       uint64 // usable capacity
+	thresh3 int64  // 3n-1
+	emulate bool
+	opts    Options
+
+	_         pad.Line
+	tail      atomicx.Counter // packed {cnt, phase2 tid+1}
+	_         pad.Line
+	head      atomicx.Counter // packed {cnt, phase2 tid+1}
+	_         pad.Line
+	threshold atomic.Int64
+	_         pad.Line
+
+	entries []atomic.Uint64
+
+	recs      []record
+	nextRec   atomic.Int64
+	maxThread int
+}
+
+// NewRing returns an empty wait-free ring holding up to capacity
+// indices in [0, capacity), usable by at most maxThreads registered
+// handles. capacity must be a power of two >= 2.
+func NewRing(capacity uint64, maxThreads int, opts *Options) (*Ring, error) {
+	lay, err := newLayout(capacity)
+	if err != nil {
+		return nil, err
+	}
+	if maxThreads < 1 || maxThreads > MaxThreads {
+		return nil, fmt.Errorf("wcq: maxThreads %d out of range [1, %d]", maxThreads, MaxThreads)
+	}
+	o := opts.withDefaults()
+	q := &Ring{
+		lay:       lay,
+		n:         capacity,
+		thresh3:   int64(3*capacity - 1),
+		emulate:   o.Mode == atomicx.EmulatedFAA,
+		opts:      o,
+		entries:   make([]atomic.Uint64, lay.nSlots),
+		recs:      make([]record, maxThreads),
+		maxThread: maxThreads,
+	}
+	q.tail.Init(o.Mode, lay.nSlots) // start at cycle 1
+	q.head.Init(o.Mode, lay.nSlots)
+	q.threshold.Store(-1)
+	w := lay.initialWord()
+	for i := range q.entries {
+		q.entries[i].Store(w)
+	}
+	for i := range q.recs {
+		q.recs[i].init(i, o.HelpDelay)
+	}
+	return q, nil
+}
+
+// NewFullRing returns a Ring pre-filled with indices 0..capacity-1, the
+// initial state of a free-index ring.
+func NewFullRing(capacity uint64, maxThreads int, opts *Options) (*Ring, error) {
+	q, err := NewRing(capacity, maxThreads, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < capacity; i++ {
+		for { // single-threaded: first fast-path attempt always succeeds
+			if _, ok := q.tryEnqueue(i); ok {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+// Register allocates a per-thread record and returns a Handle bound to
+// it. It fails once maxThreads handles exist. Records are never
+// recycled (the paper's NUM_THRDS census is fixed for the life of the
+// queue).
+func (q *Ring) Register() (*Handle, error) {
+	id := q.nextRec.Add(1) - 1
+	if id >= int64(q.maxThread) {
+		q.nextRec.Add(-1)
+		return nil, fmt.Errorf("wcq: thread census exhausted (maxThreads=%d)", q.maxThread)
+	}
+	return &Handle{q: q, r: &q.recs[id]}, nil
+}
+
+// Cap returns the usable capacity n.
+func (q *Ring) Cap() uint64 { return q.n }
+
+// Footprint returns the statically allocated byte size of the ring
+// (entries + thread records + control words), for the Fig. 10a
+// memory-usage reproduction.
+func (q *Ring) Footprint() uint64 {
+	const recSize = 192 // unsafe.Sizeof(record{}) rounded to lines
+	return uint64(len(q.entries))*8 + uint64(len(q.recs))*recSize + 6*pad.CacheLineSize
+}
+
+// tailCnt / headCnt read the counter component of the packed globals.
+func (q *Ring) tailCnt() uint64 { return globalCnt(q.tail.Load()) }
+func (q *Ring) headCnt() uint64 { return globalCnt(q.head.Load()) }
+
+// thresholdFAA adds d to Threshold and returns the previous value.
+func (q *Ring) thresholdFAA(d int64) int64 {
+	if !q.emulate {
+		return q.threshold.Add(d) - d
+	}
+	for {
+		old := q.threshold.Load()
+		if q.threshold.CompareAndSwap(old, old+d) {
+			return old
+		}
+	}
+}
+
+// entryOr ORs bits into a slot word (consume's atomic OR; emulated via
+// CAS in the PowerPC configuration, §3.3).
+func (q *Ring) entryOr(e *atomic.Uint64, bits uint64) {
+	if !q.emulate {
+		e.Or(bits)
+		return
+	}
+	for {
+		old := e.Load()
+		if old&bits == bits {
+			return
+		}
+		if e.CompareAndSwap(old, old|bits) {
+			return
+		}
+	}
+}
+
+// consume marks the slot at position h consumed (Fig. 5). When the
+// entry was produced by a slow-path enqueuer and is still in its
+// two-step window (Enq=0), the dequeuer first finalizes that helping
+// request so the producer's helpers stop. selfTid < 0 means "not a
+// registered thread" (only used single-threaded).
+func (q *Ring) consume(h uint64, e *atomic.Uint64, w uint64, selfTid int) {
+	if w&q.lay.enqBit == 0 {
+		q.finalizeRequest(h, selfTid)
+	}
+	q.entryOr(e, q.lay.bottomC|q.lay.enqBit)
+}
+
+// finalizeRequest sets FIN on the localTail of the (unique) enqueue
+// request whose current position is h (Fig. 5, finalize_request). The
+// caller's own record is skipped: a dequeuing thread cannot be the
+// pending enqueuer.
+func (q *Ring) finalizeRequest(h uint64, selfTid int) {
+	for i := range q.recs {
+		if i == selfTid {
+			continue
+		}
+		r := &q.recs[i]
+		if lt := r.localTail.Load(); lt&cntMask == h {
+			r.localTail.CompareAndSwap(h, h|flagFIN)
+			return
+		}
+	}
+}
+
+// tryEnqueue is the fast path (try_enq, Fig. 3, with the Enq bit set in
+// one step and the Note field preserved). On failure it returns the
+// consumed Tail ticket to seed the slow path.
+func (q *Ring) tryEnqueue(index uint64) (ticket uint64, ok bool) {
+	l := &q.lay
+	t := globalCnt(q.tail.Add(1))
+	tCycle := l.cycleOf(t)
+	e := &q.entries[ring.Remap(t&l.posMask, l.order)]
+	for {
+		w := e.Load()
+		ent := l.unpack(w)
+		if cycLess(ent.cycle, tCycle) &&
+			(ent.index == l.bottom || ent.index == l.bottomC) &&
+			(ent.safe || q.headCnt() <= t) {
+			nw := l.pack(entry{note: ent.note, cycle: tCycle, safe: true, enq: true, index: index})
+			if !e.CompareAndSwap(w, nw) {
+				continue
+			}
+			if q.threshold.Load() != q.thresh3 {
+				q.threshold.Store(q.thresh3)
+			}
+			return 0, true
+		}
+		return t, false
+	}
+}
+
+// counterRef aliases the packed global counter type used by slow.go.
+type counterRef = atomicx.Counter
+
+type deqStatus uint8
+
+const (
+	deqRetry deqStatus = iota
+	deqGot
+	deqEmpty
+)
+
+// tryDequeue is the fast path (try_deq, Fig. 3 adapted per Fig. 5:
+// consume finalizes Enq=0 producers; Note and Enq are preserved by the
+// transition CASes).
+func (q *Ring) tryDequeue(selfTid int) (ticket, index uint64, st deqStatus) {
+	l := &q.lay
+	h := globalCnt(q.head.Add(1))
+	hCycle := l.cycleOf(h)
+	e := &q.entries[ring.Remap(h&l.posMask, l.order)]
+	for {
+		w := e.Load()
+		ent := l.unpack(w)
+		if ent.cycle == hCycle {
+			q.consume(h, e, w, selfTid)
+			return 0, ent.index, deqGot
+		}
+		var nw uint64
+		if ent.index == l.bottom || ent.index == l.bottomC {
+			nw = l.pack(entry{note: ent.note, cycle: hCycle, safe: ent.safe, enq: true, index: l.bottom})
+		} else {
+			nw = l.pack(entry{note: ent.note, cycle: ent.cycle, safe: false, enq: ent.enq, index: ent.index})
+		}
+		if cycLess(ent.cycle, hCycle) {
+			if !e.CompareAndSwap(w, nw) {
+				continue
+			}
+		}
+		t := q.tailCnt()
+		if t <= h+1 {
+			q.catchup(t, h+1)
+			q.thresholdFAA(-1)
+			return 0, 0, deqEmpty
+		}
+		if q.thresholdFAA(-1) <= 0 {
+			return 0, 0, deqEmpty
+		}
+		return h, 0, deqRetry
+	}
+}
+
+// catchup advances the Tail counter to head when dequeuers overran all
+// enqueuers, preserving the packed phase2 component. Bounded per §3.2.
+func (q *Ring) catchup(tail, head uint64) {
+	for i := 0; i < MaxCatchup; i++ {
+		tw := q.tail.Load()
+		cnt := globalCnt(tw)
+		if cnt != tail {
+			tail = cnt
+			head = q.headCnt()
+			if tail >= head {
+				return
+			}
+		}
+		if q.tail.CompareAndSwap(tw, packGlobal(head, globalTidp(tw))) {
+			return
+		}
+	}
+}
+
+// cycLess compares two truncated cycle values. Cycles are monotonic and
+// far from wrapping in any supported run (see package comment), so a
+// plain comparison is used, as in the paper.
+func cycLess(a, b uint64) bool { return a < b }
+
+// Drained reports whether the head counter has caught the tail
+// counter (every enqueue ticket examined).
+func (q *Ring) Drained() bool { return q.headCnt() >= q.tailCnt() }
+
+// Enqueue inserts index. It is wait-free: after EnqPatience fast-path
+// attempts it switches to the helped slow path, which completes in a
+// bounded number of steps. Like the paper's Enqueue_wCQ it assumes at
+// most Cap() live indices (aq/fq usage) and so never reports "full".
+func (h *Handle) Enqueue(index uint64) {
+	q, r := h.q, h.r
+	q.helpThreads(r)
+	var ticket uint64
+	for i := 0; i < q.opts.EnqPatience; i++ {
+		t, ok := q.tryEnqueue(index)
+		if ok {
+			return
+		}
+		ticket = t
+	}
+	// Slow path: publish a help request and run it ourselves.
+	seq := r.seq1.Load()
+	r.localTail.Store(ticket)
+	r.initTail.Store(ticket)
+	r.index.Store(index)
+	r.enqueue.Store(true)
+	r.seq2.Store(seq)
+	r.pending.Store(true)
+	q.enqueueSlow(ticket, index, r, seq, r)
+	r.pending.Store(false)
+	r.seq1.Store(seq + 1)
+}
+
+// Dequeue removes and returns the oldest index; ok is false when the
+// queue is empty. Wait-free by the same fast-path/slow-path structure.
+func (h *Handle) Dequeue() (index uint64, ok bool) {
+	q, r := h.q, h.r
+	if q.threshold.Load() < 0 {
+		return 0, false // empty
+	}
+	q.helpThreads(r)
+	var ticket uint64
+	for i := 0; i < q.opts.DeqPatience; i++ {
+		t, idx, st := q.tryDequeue(r.tid)
+		switch st {
+		case deqGot:
+			return idx, true
+		case deqEmpty:
+			return 0, false
+		}
+		ticket = t
+	}
+	// Slow path.
+	seq := r.seq1.Load()
+	r.localHead.Store(ticket)
+	r.initHead.Store(ticket)
+	r.enqueue.Store(false)
+	r.seq2.Store(seq)
+	r.pending.Store(true)
+	q.dequeueSlow(ticket, r, seq, r)
+	r.pending.Store(false)
+	r.seq1.Store(seq + 1)
+	// Gather the slow-path result (Fig. 5, lines 48-54).
+	l := &q.lay
+	hh := r.localHead.Load() & cntMask
+	e := &q.entries[ring.Remap(hh&l.posMask, l.order)]
+	w := e.Load()
+	ent := l.unpack(w)
+	if ent.cycle == l.cycleOf(hh) && ent.index != l.bottom {
+		q.consume(hh, e, w, r.tid)
+		return ent.index, true
+	}
+	return 0, false
+}
+
+// helpThreads periodically scans for pending help requests (Fig. 6).
+func (q *Ring) helpThreads(r *record) {
+	r.nextCheck--
+	if r.nextCheck != 0 {
+		return
+	}
+	r.nextCheck = q.opts.HelpDelay
+	if r.nextTid >= len(q.recs) {
+		r.nextTid = 0
+	}
+	thr := &q.recs[r.nextTid]
+	r.nextTid = (r.nextTid + 1) % len(q.recs)
+	if thr == r || !thr.pending.Load() {
+		return
+	}
+	if thr.enqueue.Load() {
+		q.helpEnqueue(thr, r)
+	} else {
+		q.helpDequeue(thr, r)
+	}
+}
+
+// helpEnqueue snapshots thr's request and joins its slow path (Fig. 6).
+func (q *Ring) helpEnqueue(thr *record, self *record) {
+	seq := thr.seq2.Load()
+	enq := thr.enqueue.Load()
+	idx := thr.index.Load()
+	tail := thr.initTail.Load()
+	if enq && thr.seq1.Load() == seq {
+		q.enqueueSlow(tail, idx, thr, seq, self)
+	}
+}
+
+func (q *Ring) helpDequeue(thr *record, self *record) {
+	seq := thr.seq2.Load()
+	enq := thr.enqueue.Load()
+	head := thr.initHead.Load()
+	if !enq && thr.seq1.Load() == seq {
+		q.dequeueSlow(head, thr, seq, self)
+	}
+}

@@ -1,0 +1,321 @@
+package wcq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/atomicx"
+)
+
+// newTestRing builds a ring with a registered handle, failing the test
+// on any error.
+func newTestRing(t *testing.T, capacity uint64, threads int, opts *Options) (*Ring, []*Handle) {
+	t.Helper()
+	q, err := NewRing(capacity, threads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]*Handle, threads)
+	for i := range hs {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs[i] = h
+	}
+	return q, hs
+}
+
+func TestRegisterCensus(t *testing.T) {
+	q, err := NewRing(8, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("third Register on maxThreads=2 succeeded")
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(8, 0, nil); err == nil {
+		t.Fatal("maxThreads=0 accepted")
+	}
+	if _, err := NewRing(8, MaxThreads+1, nil); err == nil {
+		t.Fatal("maxThreads over census accepted")
+	}
+	if _, err := NewRing(7, 1, nil); err == nil {
+		t.Fatal("non-power-of-two capacity accepted")
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	_, hs := newTestRing(t, 8, 1, nil)
+	h := hs[0]
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("dequeue on empty ring succeeded")
+	}
+	for i := uint64(0); i < 8; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("dequeue after drain succeeded")
+	}
+}
+
+func TestWrapAroundManyCycles(t *testing.T) {
+	_, hs := newTestRing(t, 4, 1, nil)
+	h := hs[0]
+	for round := uint64(0); round < 3000; round++ {
+		for i := uint64(0); i < 4; i++ {
+			h.Enqueue(i)
+		}
+		for i := uint64(0); i < 4; i++ {
+			v, ok := h.Dequeue()
+			if !ok || v != i {
+				t.Fatalf("round %d: got (%d,%v), want %d", round, v, ok, i)
+			}
+		}
+	}
+}
+
+func TestNewFullRingOrder(t *testing.T) {
+	q, err := NewFullRing(16, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := q.Register()
+	for i := uint64(0); i < 16; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("full ring yielded more than capacity")
+	}
+}
+
+// forcedSlowOpts makes every contended operation take the slow path
+// and help eagerly, maximizing coverage of slowFAA/tryEnqSlow/
+// tryDeqSlow.
+func forcedSlowOpts() *Options {
+	return &Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+}
+
+func TestSequentialFIFOForcedSlow(t *testing.T) {
+	// Even with patience 1 a single thread succeeds on the fast path's
+	// first attempt most of the time; interleave full/empty transitions
+	// to push it through the slow path via failed attempts.
+	_, hs := newTestRing(t, 4, 2, forcedSlowOpts())
+	h := hs[0]
+	for round := 0; round < 2000; round++ {
+		for i := uint64(0); i < 4; i++ {
+			h.Enqueue(i)
+		}
+		for i := uint64(0); i < 4; i++ {
+			v, ok := h.Dequeue()
+			if !ok || v != i {
+				t.Fatalf("round %d: got (%d,%v), want %d", round, v, ok, i)
+			}
+		}
+		if _, ok := h.Dequeue(); ok {
+			t.Fatal("phantom value")
+		}
+	}
+}
+
+// runMPMC moves perProducer tickets from p producers to c consumers
+// through a ring of the given capacity and verifies exactly-once
+// delivery of every (producer, seq) pair encoded in the indices.
+//
+// Ring indices must be < capacity, so indices are recycled through a
+// channel-based credit pool while the logical payload identity is
+// tracked in a side table written before enqueue and read after
+// dequeue (the same indirection the paper's data queues use).
+func runMPMC(t *testing.T, opts *Options, capacity uint64, p, c, perProducer int) {
+	t.Helper()
+	q, err := NewRing(capacity, p+c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]atomic.Uint64, capacity)
+	credits := make(chan uint64, capacity)
+	for i := uint64(0); i < capacity; i++ {
+		credits <- i
+	}
+	total := p * perProducer
+	delivered := make([]atomic.Int64, total)
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < p; g++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, h *Handle) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				idx := <-credits
+				payload[idx].Store(uint64(g*perProducer + i))
+				h.Enqueue(idx)
+			}
+		}(g, h)
+	}
+	for g := 0; g < c; g++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for {
+				if consumed.Load() >= int64(total) {
+					return
+				}
+				idx, ok := h.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				id := payload[idx].Load()
+				delivered[id].Add(1)
+				consumed.Add(1)
+				credits <- idx
+			}
+		}(h)
+	}
+	wg.Wait()
+	for id := range delivered {
+		if n := delivered[id].Load(); n != 1 {
+			t.Fatalf("payload %d delivered %d times", id, n)
+		}
+	}
+}
+
+func TestMPMCFastPath(t *testing.T) {
+	runMPMC(t, nil, 64, 4, 4, 5000)
+}
+
+func TestMPMCForcedSlowPath(t *testing.T) {
+	runMPMC(t, forcedSlowOpts(), 8, 4, 4, 3000)
+}
+
+func TestMPMCForcedSlowTinyRing(t *testing.T) {
+	// Capacity 2 with 6 threads: every slot is contended, slow paths
+	// and helping fire constantly.
+	runMPMC(t, forcedSlowOpts(), 2, 3, 3, 2000)
+}
+
+func TestMPMCEmulatedFAA(t *testing.T) {
+	runMPMC(t, &Options{Mode: atomicx.EmulatedFAA, EnqPatience: 2, DeqPatience: 2, HelpDelay: 1}, 16, 3, 3, 3000)
+}
+
+func TestMPMCManyThreadsOversubscribed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runMPMC(t, &Options{EnqPatience: 4, DeqPatience: 8, HelpDelay: 2}, 32, 8, 8, 2000)
+}
+
+func TestPerProducerFIFO(t *testing.T) {
+	// One producer, one consumer: global FIFO order must hold exactly,
+	// including through slow paths.
+	const total = 20000
+	q, _ := NewRing(16, 2, forcedSlowOpts())
+	hp, _ := q.Register()
+	hc, _ := q.Register()
+	payload := make([]atomic.Uint64, 16)
+	credits := make(chan uint64, 16)
+	for i := uint64(0); i < 16; i++ {
+		credits <- i
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			idx := <-credits
+			payload[idx].Store(uint64(i))
+			hp.Enqueue(idx)
+		}
+	}()
+	next := uint64(0)
+	for next < total {
+		idx, ok := hc.Dequeue()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		got := payload[idx].Load()
+		if got != next {
+			t.Fatalf("out of order: got %d, want %d", got, next)
+		}
+		next++
+		credits <- idx
+	}
+	wg.Wait()
+}
+
+func TestEmptyDequeueDoesNotAdvanceHead(t *testing.T) {
+	q, hs := newTestRing(t, 8, 1, nil)
+	h := hs[0]
+	h.Enqueue(0)
+	h.Dequeue()
+	for i := 0; i < 200; i++ {
+		h.Dequeue()
+	}
+	h0 := q.headCnt()
+	for i := 0; i < 100; i++ {
+		if _, ok := h.Dequeue(); ok {
+			t.Fatal("phantom element")
+		}
+	}
+	if q.headCnt() != h0 {
+		t.Fatalf("empty dequeues advanced Head by %d", q.headCnt()-h0)
+	}
+}
+
+func TestFootprintConstantUnderLoad(t *testing.T) {
+	q, hs := newTestRing(t, 64, 2, forcedSlowOpts())
+	f0 := q.Footprint()
+	h := hs[0]
+	for i := 0; i < 20000; i++ {
+		h.Enqueue(uint64(i % 64))
+		h.Dequeue()
+	}
+	if q.Footprint() != f0 {
+		t.Fatalf("footprint changed %d -> %d", f0, q.Footprint())
+	}
+}
+
+func TestNoAllocationSteadyState(t *testing.T) {
+	q, _ := NewRing(64, 2, nil)
+	h, _ := q.Register()
+	for i := 0; i < 100; i++ { // warm up
+		h.Enqueue(uint64(i % 64))
+		h.Dequeue()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Enqueue(1)
+		h.Dequeue()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state operations allocate %v bytes/op", allocs)
+	}
+}

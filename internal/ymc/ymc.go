@@ -1,0 +1,286 @@
+// Package ymc reproduces Yang & Mellor-Crummey's wait-free queue
+// (PPoPP '16) as an evaluation baseline. YMC applies F&A to the
+// infinite-array queue: tickets index into a linked list of fixed-size
+// segments allocated on demand.
+//
+// Faithfulness notes (see DESIGN.md):
+//
+//   - The fast paths (F&A ticket, cell CAS, ⊤-poisoning by overrunning
+//     dequeuers) follow the paper directly.
+//   - The enqueue slow path keeps the paper's structure: a published
+//     request with a pending/committed state word; dequeuers that reach
+//     a cell holding a pending request help commit it, which is what
+//     makes slow enqueues complete.
+//   - The dequeue slow path is simplified to unbounded retries (lock-
+//     free, not wait-free). The wCQ paper itself disqualifies YMC's
+//     wait-freedom (its reclamation blocks when memory is exhausted);
+//     the baseline's role in the evaluation is an F&A throughput and
+//     memory-growth reference, which this port preserves.
+//   - Reclamation uses the Go GC instead of YMC's custom scheme — the
+//     very component Ramalhete & Correia showed to be flawed.
+//
+// Cell values are encoded as payload+1, with 0 = ⊥ (empty) and ^0 = ⊤
+// (poisoned), so payloads must be below 2^64-2; the harness encodes
+// IDs well under that.
+package ymc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/pad"
+)
+
+const (
+	// SegOrder gives 2^10 cells per segment, the paper's default.
+	SegOrder = 10
+	segSize  = 1 << SegOrder
+	segMask  = segSize - 1
+
+	// patience bounds fast-path attempts, as in the paper.
+	patience = 10
+
+	top = ^uint64(0) // ⊤: cell abandoned by an overrunning dequeuer
+)
+
+// enqReq is a published slow-path enqueue request. state packs a
+// pending bit (bit 63) with the committed ticket.
+type enqReq struct {
+	val   uint64
+	state atomic.Uint64
+}
+
+const pendingBit = uint64(1) << 63
+
+// cell pairs the value slot with the enqueue-request slot used by the
+// helping protocol. (The deq-request slot of the original is unused by
+// the simplified dequeue path.)
+type cell struct {
+	val uint64 // accessed atomically; 0=⊥, ^0=⊤, else payload+1
+	enq atomic.Pointer[enqReq]
+}
+
+func (c *cell) loadVal() uint64 { return atomic.LoadUint64(&c.val) }
+func (c *cell) casVal(o, n uint64) bool {
+	return atomic.CompareAndSwapUint64(&c.val, o, n)
+}
+
+// topReq poisons a cell's request slot so no slow enqueue can commit
+// into it.
+var topReq = &enqReq{}
+
+type segment struct {
+	id    uint64
+	next  atomic.Pointer[segment]
+	cells [segSize]cell
+}
+
+// Queue is the YMC queue.
+type Queue struct {
+	_             pad.Line
+	tail          atomic.Uint64 // enqueue ticket counter
+	_             pad.Line
+	head          atomic.Uint64 // dequeue ticket counter
+	_             pad.Line
+	segHead       atomic.Pointer[segment] // lowest live segment (GC frontier)
+	_             pad.Line
+	segsAllocated atomic.Int64
+	handles       atomic.Int64
+	maxThreads    int64
+}
+
+// Handle carries per-thread segment hints (the paper's per-thread
+// head/tail segment pointers).
+type Handle struct {
+	q      *Queue
+	enqSeg *segment
+	deqSeg *segment
+}
+
+// New returns an empty queue for at most maxThreads handles.
+func New(maxThreads int) *Queue {
+	q := &Queue{maxThreads: int64(maxThreads)}
+	s := &segment{}
+	q.segHead.Store(s)
+	q.segsAllocated.Store(1)
+	return q
+}
+
+// Register returns a per-thread handle.
+func (q *Queue) Register() (*Handle, error) {
+	if q.handles.Add(1) > q.maxThreads {
+		q.handles.Add(-1)
+		return nil, fmt.Errorf("ymc: thread census exhausted (%d)", q.maxThreads)
+	}
+	s := q.segHead.Load()
+	return &Handle{q: q, enqSeg: s, deqSeg: s}, nil
+}
+
+// findCell walks (and extends) the segment list from *hint to the
+// segment containing ticket, updating the hint.
+// findCell returns nil when the ticket's segment is unreachable (the
+// GC frontier passed it), which only happens for tickets whose cell
+// has already been fully resolved by a dequeuer.
+func (q *Queue) findCell(hint **segment, ticket uint64) *cell {
+	s := *hint
+	id := ticket >> SegOrder
+	if s.id > id {
+		// The hint overshot (e.g. a slow enqueue revisiting its commit
+		// ticket); restart from the global frontier.
+		s = q.segHead.Load()
+		if s.id > id {
+			return nil
+		}
+	}
+	for s.id < id {
+		next := s.next.Load()
+		if next == nil {
+			ns := &segment{id: s.id + 1}
+			if s.next.CompareAndSwap(nil, ns) {
+				q.segsAllocated.Add(1)
+				next = ns
+			} else {
+				next = s.next.Load()
+			}
+		}
+		s = next
+	}
+	*hint = s
+	return &s.cells[ticket&segMask]
+}
+
+// advanceFrontier moves the GC frontier up to the segment all tickets
+// below minTicket have left.
+func (q *Queue) advanceFrontier(minTicket uint64) {
+	id := minTicket >> SegOrder
+	for {
+		s := q.segHead.Load()
+		if s.id >= id {
+			return
+		}
+		next := s.next.Load()
+		if next == nil {
+			return
+		}
+		q.segHead.CompareAndSwap(s, next)
+	}
+}
+
+// Enqueue appends v. The fast path is the paper's F&A + CAS; the slow
+// path publishes a request that overrunning dequeuers help commit.
+func (h *Handle) Enqueue(v uint64) {
+	q := h.q
+	ev := v + 1
+	for i := 0; i < patience; i++ {
+		t := q.tail.Add(1) - 1
+		c := q.findCell(&h.enqSeg, t)
+		if c != nil && c.casVal(0, ev) {
+			return
+		}
+	}
+	// Slow path.
+	r := &enqReq{val: ev}
+	r.state.Store(pendingBit)
+	for r.state.Load()&pendingBit != 0 {
+		t := q.tail.Add(1) - 1
+		c := q.findCell(&h.enqSeg, t)
+		if c == nil {
+			continue
+		}
+		if c.enq.CompareAndSwap(nil, r) || c.enq.Load() == r {
+			// The request is visible in this cell: try to commit here.
+			r.state.CompareAndSwap(pendingBit, t)
+		}
+		if st := r.state.Load(); st&pendingBit == 0 {
+			// Committed (by us or a helping dequeuer) at ticket st.
+			if tc := q.findCell(&h.enqSeg, st); tc != nil {
+				tc.casVal(0, ev)
+			}
+			return
+		}
+	}
+	// Committed by a helper while we were between tickets. A nil cell
+	// means the committing dequeuer already delivered the value.
+	st := r.state.Load()
+	if tc := q.findCell(&h.enqSeg, st); tc != nil {
+		tc.casVal(0, ev)
+	}
+}
+
+// helpEnq lets a dequeuer at cell c (ticket h) resolve a pending
+// slow-path enqueue request before poisoning the cell. It returns the
+// value if the request committed here.
+func (q *Queue) helpEnq(c *cell, h uint64) (uint64, bool) {
+	r := c.enq.Load()
+	if r == nil {
+		c.enq.CompareAndSwap(nil, topReq)
+		r = c.enq.Load()
+	}
+	if r == nil || r == topReq {
+		return 0, false
+	}
+	// A slow enqueue is visible here: help commit it to THIS ticket.
+	r.state.CompareAndSwap(pendingBit, h)
+	if st := r.state.Load(); st&pendingBit == 0 && st == h {
+		c.casVal(0, r.val)
+		return r.val, true
+	}
+	return 0, false
+}
+
+// Dequeue removes the oldest value; ok is false when empty.
+//
+// Fast path per the paper: take a ticket, spin briefly on the cell,
+// poison it with ⊤ if no enqueuer shows up. The retry loop is bounded
+// only by queue emptiness (lock-free; see package comment).
+func (h *Handle) Dequeue() (uint64, bool) {
+	q := h.q
+	for {
+		hd := q.head.Add(1) - 1
+		c := q.findCell(&h.deqSeg, hd)
+		if c == nil {
+			continue
+		}
+		for spin := 0; spin < 64; spin++ {
+			if v := c.loadVal(); v != 0 && v != top {
+				q.advanceFrontier(q.head.Load())
+				return v - 1, true
+			}
+		}
+		// Help any pending slow enqueue into this cell, else poison it.
+		if v, ok := q.helpEnq(c, hd); ok {
+			q.advanceFrontier(q.head.Load())
+			return v - 1, true
+		}
+		if !c.casVal(0, top) {
+			v := c.loadVal()
+			if v != top {
+				q.advanceFrontier(q.head.Load())
+				return v - 1, true
+			}
+		}
+		if q.tail.Load() <= hd+1 {
+			// Overran all enqueuers: empty.
+			q.fixState()
+			return 0, false
+		}
+	}
+}
+
+// fixState pulls Tail up to Head after dequeuers overrun, as in CRQ.
+func (q *Queue) fixState() {
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		if t >= h {
+			return
+		}
+		if q.tail.CompareAndSwap(t, h) {
+			return
+		}
+	}
+}
+
+// SegsAllocated reports how many segments were ever allocated (the
+// Fig. 10a growth signal).
+func (q *Queue) SegsAllocated() int64 { return q.segsAllocated.Load() }

@@ -1,0 +1,205 @@
+// Package wfqueue is a Go implementation of wCQ, the fast wait-free
+// MPMC FIFO queue with bounded memory usage of Nikolaev & Ravindran
+// (SPAA '22), together with the lock-free SCQ it builds on.
+//
+// # Quick start
+//
+//	q, err := wfqueue.New[string](1024, 8) // capacity 1024, up to 8 goroutines
+//	h, err := q.Handle()                   // one handle per goroutine
+//	h.Enqueue("hello")
+//	v, ok := h.Dequeue()
+//
+// Every operation completes in a bounded number of steps regardless of
+// what other goroutines do (wait-freedom), and the queue never
+// allocates after construction (bounded memory) — the two properties
+// the paper shows cannot be had together in prior fast queues.
+//
+// # Handles
+//
+// wCQ keeps a fixed census of per-thread helper records, so each
+// concurrent goroutine needs its own Handle. A Handle must not be used
+// from two goroutines at once; handles cannot be returned to the
+// census. This mirrors the paper's NUM_THRDS assumption.
+//
+// # Variants
+//
+// NewLockFree builds the SCQ variant: same ring, same performance
+// envelope, no helping (lock-free progress only, no handle census).
+// NewRing / NewLockFreeRing expose the underlying index rings for
+// allocator-style use (DPDK/SPDK-like index pools, Figure 2 of the
+// paper).
+package wfqueue
+
+import (
+	"repro/internal/atomicx"
+	"repro/internal/scq"
+	"repro/internal/wcq"
+)
+
+// Option customizes queue construction.
+type Option func(*options)
+
+type options struct {
+	mode        atomicx.Mode
+	enqPatience int
+	deqPatience int
+	helpDelay   int
+}
+
+// WithEmulatedFAA makes every fetch-and-add a CAS loop, modelling
+// LL/SC architectures without native F&A (the paper's PowerPC port,
+// §4). Mostly useful for benchmarking.
+func WithEmulatedFAA() Option {
+	return func(o *options) { o.mode = atomicx.EmulatedFAA }
+}
+
+// WithPatience sets MAX_PATIENCE: how many fast-path attempts an
+// enqueue/dequeue makes before switching to the wait-free slow path.
+// The paper uses 16 and 64. Lower values bound worst-case latency more
+// tightly at some throughput cost.
+func WithPatience(enqueue, dequeue int) Option {
+	return func(o *options) { o.enqPatience, o.deqPatience = enqueue, dequeue }
+}
+
+// WithHelpDelay sets how many operations pass between scans for
+// stalled peers (HELP_DELAY).
+func WithHelpDelay(n int) Option {
+	return func(o *options) { o.helpDelay = n }
+}
+
+func buildOpts(opts []Option) (*wcq.Options, atomicx.Mode) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &wcq.Options{
+		Mode:        o.mode,
+		EnqPatience: o.enqPatience,
+		DeqPatience: o.deqPatience,
+		HelpDelay:   o.helpDelay,
+	}, o.mode
+}
+
+// Queue is a bounded wait-free MPMC FIFO of values of type T.
+type Queue[T any] struct {
+	q *wcq.Queue[T]
+}
+
+// Handle is a goroutine's capability to use a Queue. Not safe for
+// concurrent use by multiple goroutines.
+type Handle[T any] struct {
+	h *wcq.QueueHandle[T]
+}
+
+// New returns an empty wait-free queue holding up to capacity values
+// (a power of two >= 2), operated by at most maxThreads concurrent
+// handles.
+func New[T any](capacity uint64, maxThreads int, opts ...Option) (*Queue[T], error) {
+	wo, _ := buildOpts(opts)
+	q, err := wcq.NewQueue[T](capacity, maxThreads, wo)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[T]{q: q}, nil
+}
+
+// Handle registers the calling goroutine and returns its handle. It
+// fails once maxThreads handles exist.
+func (q *Queue[T]) Handle() (*Handle[T], error) {
+	h, err := q.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &Handle[T]{h: h}, nil
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() uint64 { return q.q.Cap() }
+
+// Footprint returns the bytes allocated at construction; the queue
+// never allocates afterwards.
+func (q *Queue[T]) Footprint() uint64 { return q.q.Footprint() }
+
+// Enqueue appends v; it returns false when the queue is full. The
+// operation completes in a bounded number of steps.
+func (h *Handle[T]) Enqueue(v T) bool { return h.h.Enqueue(v) }
+
+// Dequeue removes and returns the oldest value; ok is false when the
+// queue is empty. The operation completes in a bounded number of
+// steps.
+func (h *Handle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
+
+// Ring is a bounded wait-free MPMC queue of indices in [0, Cap()) —
+// the raw wCQ ring, useful as a free-list/allocation pool (the aq/fq
+// pattern of the paper's Figure 2).
+type Ring struct {
+	r *wcq.Ring
+}
+
+// RingHandle is a goroutine's capability to use a Ring.
+type RingHandle struct {
+	h *wcq.Handle
+}
+
+// NewRing returns an empty wait-free index ring. If full is true it is
+// pre-filled with 0..capacity-1 (a free-index pool).
+func NewRing(capacity uint64, maxThreads int, full bool, opts ...Option) (*Ring, error) {
+	wo, _ := buildOpts(opts)
+	var r *wcq.Ring
+	var err error
+	if full {
+		r, err = wcq.NewFullRing(capacity, maxThreads, wo)
+	} else {
+		r, err = wcq.NewRing(capacity, maxThreads, wo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{r: r}, nil
+}
+
+// Handle registers the calling goroutine.
+func (r *Ring) Handle() (*RingHandle, error) {
+	h, err := r.r.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &RingHandle{h: h}, nil
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() uint64 { return r.r.Cap() }
+
+// Enqueue inserts an index in [0, Cap()). The ring never reports full:
+// the caller must keep at most Cap() indices live (as a free-list
+// naturally does).
+func (h *RingHandle) Enqueue(index uint64) { h.h.Enqueue(index) }
+
+// Dequeue removes the oldest index; ok is false when empty.
+func (h *RingHandle) Dequeue() (index uint64, ok bool) { return h.h.Dequeue() }
+
+// LockFreeQueue is the SCQ variant: identical structure, lock-free
+// (not wait-free) progress, no handle census — any goroutine may call
+// it directly.
+type LockFreeQueue[T any] struct {
+	q *scq.Queue[T]
+}
+
+// NewLockFree returns an empty lock-free (SCQ) queue.
+func NewLockFree[T any](capacity uint64, opts ...Option) (*LockFreeQueue[T], error) {
+	_, mode := buildOpts(opts)
+	q, err := scq.NewQueue[T](capacity, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &LockFreeQueue[T]{q: q}, nil
+}
+
+// Enqueue appends v; false when full. Safe for any goroutine.
+func (q *LockFreeQueue[T]) Enqueue(v T) bool { return q.q.Enqueue(v) }
+
+// Dequeue removes the oldest value; ok is false when empty.
+func (q *LockFreeQueue[T]) Dequeue() (T, bool) { return q.q.Dequeue() }
+
+// Cap returns the queue capacity.
+func (q *LockFreeQueue[T]) Cap() uint64 { return q.q.Cap() }
