@@ -7,6 +7,8 @@
 //	wcqbench -figure all -ops 1000000    # the full evaluation
 //	wcqbench -figure 10a -queues wCQ,SCQ,LCRQ
 //	wcqbench -figure all -record EXPERIMENTS.md
+//	wcqbench -figure s1 -shards 8        # sharded scale-out sweep
+//	wcqbench -figure s2 -batch 32        # batched 50/50 workload
 //
 // Absolute numbers depend on the host; the reproduction target is the
 // SHAPE of each figure (who wins, by what factor, where lines cross).
@@ -31,10 +33,12 @@ func main() {
 		maxThr  = flag.Int("maxthreads", 0, "truncate the thread sweep (0 = full paper sweep)")
 		queuesF = flag.String("queues", "", "comma-separated queue subset (default: figure's full line-up)")
 		record  = flag.String("record", "", "append results as a markdown section to this file")
+		shards  = flag.Int("shards", 0, "shard count for the Sharded queue (0 = default 4)")
+		batch   = flag.Int("batch", 0, "batch size; > 1 drives workloads through EnqueueBatch/DequeueBatch")
 	)
 	flag.Parse()
 
-	opts := harness.RunOpts{Ops: *ops, Reps: *reps, MaxThreads: *maxThr}
+	opts := harness.RunOpts{Ops: *ops, Reps: *reps, MaxThreads: *maxThr, Shards: *shards, Batch: *batch}
 	if *queuesF != "" {
 		opts.Queues = strings.Split(*queuesF, ",")
 	}

@@ -4,6 +4,8 @@
 //
 //	wcqstress -queue wCQ -producers 4 -consumers 4 -rounds 20
 //	wcqstress -queue all -slowpath            # force wCQ's helped paths
+//	wcqstress -queue Sharded -shards 8        # sharded composition
+//	wcqstress -queue all -batch 32            # batched enqueue/dequeue rounds
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 		capacity  = flag.Uint64("capacity", 256, "ring capacity (bounded queues)")
 		emulate   = flag.Bool("emulate", false, "CAS-emulated F&A (PowerPC mode)")
 		slowpath  = flag.Bool("slowpath", false, "wCQ: patience 1 + eager helping")
+		shards    = flag.Int("shards", 0, "shard count for the Sharded queue (0 = default 4)")
+		batch     = flag.Int("batch", 0, "> 1: drive the batched checker with this batch size")
 	)
 	flag.Parse()
 
@@ -35,7 +39,7 @@ func main() {
 	if *queue == "all" {
 		names = queues.RealQueues()
 	}
-	cfg := queues.Config{Capacity: *capacity, MaxThreads: *producers + *consumers + 2}
+	cfg := queues.Config{Capacity: *capacity, MaxThreads: *producers + *consumers + 2, Shards: *shards}
 	if *emulate {
 		cfg.Mode = atomicx.EmulatedFAA
 	}
@@ -52,12 +56,17 @@ func main() {
 				break
 			}
 			start := time.Now()
-			err = checker.Run(q, checker.Config{
+			ccfg := checker.Config{
 				Producers:   *producers,
 				Consumers:   *consumers,
 				PerProducer: *per,
 				Capacity:    int(*capacity),
-			})
+			}
+			if *batch > 1 {
+				err = checker.RunBatch(q, ccfg, *batch)
+			} else {
+				err = checker.Run(q, ccfg)
+			}
 			if err != nil {
 				fmt.Printf("%-8s round %d FAIL: %v\n", name, r, err)
 				failed = true

@@ -38,20 +38,79 @@ func Encode(producer, seq int) uint64 { return uint64(producer)<<32 | uint64(seq
 // Decode splits a checker payload value.
 func Decode(v uint64) (producer, seq int) { return int(v >> 32), int(v & 0xffffffff) }
 
+// verifier holds the property-checking state shared by Run and
+// RunBatch, so the scalar and batched drivers enforce identical
+// semantics by construction.
+type verifier struct {
+	cfg       Config
+	total     int
+	delivered []atomic.Int32
+	consumed  atomic.Int64
+	errs      chan error
+}
+
+func newVerifier(cfg Config) *verifier {
+	total := cfg.Producers * cfg.PerProducer
+	return &verifier{
+		cfg:       cfg,
+		total:     total,
+		delivered: make([]atomic.Int32, total),
+		errs:      make(chan error, cfg.Producers+cfg.Consumers+16),
+	}
+}
+
+// report records an error without blocking: first errors win.
+func (vf *verifier) report(err error) {
+	select {
+	case vf.errs <- err:
+	default:
+	}
+}
+
+// observe validates one dequeued value against a consumer's
+// per-producer order state (lastSeq is consumer-local).
+func (vf *verifier) observe(v uint64, lastSeq map[int]int) {
+	p, seq := Decode(v)
+	if p >= vf.cfg.Producers || seq >= vf.cfg.PerProducer {
+		vf.report(fmt.Errorf("corrupt value %#x", v))
+		vf.consumed.Add(1)
+		return
+	}
+	if prev, seen := lastSeq[p]; seen && seq <= prev {
+		vf.report(fmt.Errorf("per-producer FIFO violation: producer %d seq %d after %d", p, seq, prev))
+	}
+	lastSeq[p] = seq
+	id := p*vf.cfg.PerProducer + seq
+	if vf.delivered[id].Add(1) != 1 {
+		vf.report(fmt.Errorf("value %#x delivered more than once", v))
+	}
+	vf.consumed.Add(1)
+}
+
+// done reports whether every produced value has been observed.
+func (vf *verifier) done() bool { return vf.consumed.Load() >= int64(vf.total) }
+
+// finish returns the first reported error, or the result of the
+// exactly-once sweep.
+func (vf *verifier) finish() error {
+	close(vf.errs)
+	if err, ok := <-vf.errs; ok {
+		return err
+	}
+	for id := range vf.delivered {
+		if vf.delivered[id].Load() != 1 {
+			p, seq := id/vf.cfg.PerProducer, id%vf.cfg.PerProducer
+			return fmt.Errorf("value (p=%d, seq=%d) delivered %d times", p, seq, vf.delivered[id].Load())
+		}
+	}
+	return nil
+}
+
 // Run drives q with cfg and returns an error describing the first
 // violated property, if any.
 func Run(q queueapi.Queue, cfg Config) error {
-	total := cfg.Producers * cfg.PerProducer
-	delivered := make([]atomic.Int32, total)
-	var consumed atomic.Int64
+	vf := newVerifier(cfg)
 	var wg sync.WaitGroup
-	errs := make(chan error, cfg.Producers+cfg.Consumers+16)
-	report := func(err error) { // non-blocking: first errors win
-		select {
-		case errs <- err:
-		default:
-		}
-	}
 
 	for p := 0; p < cfg.Producers; p++ {
 		h, err := q.Handle()
@@ -78,46 +137,84 @@ func Run(q queueapi.Queue, cfg Config) error {
 		go func(h queueapi.Handle) {
 			defer wg.Done()
 			lastSeq := make(map[int]int, cfg.Producers)
-			for {
-				if consumed.Load() >= int64(total) {
-					return
-				}
+			for !vf.done() {
 				v, ok := h.Dequeue()
 				if !ok {
 					runtime.Gosched()
 					continue
 				}
-				p, seq := Decode(v)
-				if p >= cfg.Producers || seq >= cfg.PerProducer {
-					report(fmt.Errorf("corrupt value %#x", v))
-					consumed.Add(1)
-					continue
-				}
-				if prev, seen := lastSeq[p]; seen && seq <= prev {
-					report(fmt.Errorf("per-producer FIFO violation: producer %d seq %d after %d", p, seq, prev))
-				}
-				lastSeq[p] = seq
-				id := p*cfg.PerProducer + seq
-				if delivered[id].Add(1) != 1 {
-					report(fmt.Errorf("value %#x delivered more than once", v))
-				}
-				consumed.Add(1)
+				vf.observe(v, lastSeq)
 			}
 		}(h)
 	}
 
 	wg.Wait()
-	close(errs)
-	if err, ok := <-errs; ok {
-		return err
+	return vf.finish()
+}
+
+// RunBatch drives q with batched enqueues and dequeues (through the
+// queueapi.Batcher fast path when the queue has one, the generic
+// fallback otherwise) and verifies the same three properties as Run:
+// no loss, no duplication, per-producer FIFO. Short enqueue counts
+// must be prefixes, so producers resume mid-batch without reordering.
+func RunBatch(q queueapi.Queue, cfg Config, batch int) error {
+	if batch < 1 {
+		return fmt.Errorf("checker: batch size %d < 1", batch)
 	}
-	for id := range delivered {
-		if delivered[id].Load() != 1 {
-			p, seq := id/cfg.PerProducer, id%cfg.PerProducer
-			return fmt.Errorf("value (p=%d, seq=%d) delivered %d times", p, seq, delivered[id].Load())
+	vf := newVerifier(cfg)
+	var wg sync.WaitGroup
+
+	for p := 0; p < cfg.Producers; p++ {
+		h, err := q.Handle()
+		if err != nil {
+			return fmt.Errorf("producer handle: %w", err)
 		}
+		wg.Add(1)
+		go func(p int, h queueapi.Handle) {
+			defer wg.Done()
+			buf := make([]uint64, 0, batch)
+			for i := 0; i < cfg.PerProducer; i += len(buf) {
+				buf = buf[:0]
+				for j := i; j < cfg.PerProducer && len(buf) < batch; j++ {
+					buf = append(buf, Encode(p, j))
+				}
+				sent := 0
+				for sent < len(buf) {
+					n := queueapi.EnqueueBatch(h, buf[sent:])
+					sent += n
+					if n == 0 {
+						runtime.Gosched() // full: wait for consumers
+					}
+				}
+			}
+		}(p, h)
 	}
-	return nil
+
+	for c := 0; c < cfg.Consumers; c++ {
+		h, err := q.Handle()
+		if err != nil {
+			return fmt.Errorf("consumer handle: %w", err)
+		}
+		wg.Add(1)
+		go func(h queueapi.Handle) {
+			defer wg.Done()
+			lastSeq := make(map[int]int, cfg.Producers)
+			buf := make([]uint64, batch)
+			for !vf.done() {
+				n := queueapi.DequeueBatch(h, buf)
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				for _, v := range buf[:n] {
+					vf.observe(v, lastSeq)
+				}
+			}
+		}(h)
+	}
+
+	wg.Wait()
+	return vf.finish()
 }
 
 // RunSPSC verifies strict global FIFO order with one producer and one

@@ -98,6 +98,22 @@ func TestCheckerAcceptsCorrectQueue(t *testing.T) {
 	}
 }
 
+func TestBatchCheckerAcceptsCorrectQueue(t *testing.T) {
+	// The mutex queue has no native Batcher, so this also exercises
+	// the queueapi fallback path end to end.
+	q := &mutexQueue{}
+	if err := RunBatch(q, Config{Producers: 2, Consumers: 2, PerProducer: 2000, Capacity: 64}, 8); err != nil {
+		t.Fatalf("correct queue rejected by batch checker: %v", err)
+	}
+}
+
+func TestBatchCheckerCatchesDuplicates(t *testing.T) {
+	err := RunBatch(&dupQueue{}, Config{Producers: 1, Consumers: 1, PerProducer: 200, Capacity: 64}, 4)
+	if err == nil {
+		t.Fatal("duplicate deliveries not detected by batch checker")
+	}
+}
+
 func TestCheckerCatchesDuplicates(t *testing.T) {
 	err := Run(&dupQueue{}, Config{Producers: 1, Consumers: 1, PerProducer: 100, Capacity: 64})
 	if err == nil {

@@ -30,10 +30,13 @@ var (
 )
 
 // x86Queues is the Fig. 10/11 line-up; ppcQueues drops LCRQ (needs
-// CAS2), exactly as the paper does for PowerPC.
+// CAS2), exactly as the paper does for PowerPC. scaleQueues is the
+// post-paper scale-out line-up: the single-ring queues against their
+// sharded composition, with FAA as the throughput ceiling.
 var (
-	x86Queues = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue", "LCRQ"}
-	ppcQueues = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue"}
+	x86Queues   = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue", "LCRQ"}
+	ppcQueues   = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue"}
+	scaleQueues = []string{"FAA", "wCQ", "SCQ", "Sharded"}
 )
 
 // Figures returns every figure of the evaluation in paper order.
@@ -55,6 +58,13 @@ func Figures() []Figure {
 			Mode: atomicx.EmulatedFAA, Queues: ppcQueues},
 		{ID: "12c", Title: "50%/50% enqueue-dequeue, emulated PowerPC (Mops/s)", Workload: Mixed, Threads: ppcThreads,
 			Mode: atomicx.EmulatedFAA, Queues: ppcQueues},
+		// Beyond the paper: the sharded composition against the
+		// single-ring queues it is built from (use -shards / -batch to
+		// sweep the new dimensions).
+		{ID: "s1", Title: "Sharded scale-out, pairwise (Mops/s)", Workload: Pairwise, Threads: x86Threads,
+			Mode: atomicx.NativeFAA, Queues: scaleQueues},
+		{ID: "s2", Title: "Sharded scale-out, 50%/50% (Mops/s)", Workload: Mixed, Threads: x86Threads,
+			Mode: atomicx.NativeFAA, Queues: scaleQueues},
 	}
 }
 
@@ -76,6 +86,8 @@ type RunOpts struct {
 	Reps       int
 	MaxThreads int // truncate the sweep (0 = full paper sweep)
 	Queues     []string
+	Shards     int // shard count for the Sharded queue (0 = default)
+	Batch      int // batch size; > 1 drives the batched workload loop
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -108,6 +120,7 @@ func (f Figure) Run(opts RunOpts) []Point {
 				Capacity:   1 << 16, // the paper's ring size for wCQ/SCQ
 				MaxThreads: th + 1,
 				Mode:       f.Mode,
+				Shards:     opts.Shards,
 			}
 			pts = append(pts, RunPoint(name, cfg, f.Workload, PointOpts{
 				Threads: th,
@@ -115,6 +128,7 @@ func (f Figure) Run(opts RunOpts) []Point {
 				Reps:    opts.Reps,
 				Delays:  f.Delays,
 				Memory:  f.Memory,
+				Batch:   opts.Batch,
 			}))
 		}
 	}

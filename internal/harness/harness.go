@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/queueapi"
 	"repro/internal/queues"
 	"repro/internal/stats"
 )
@@ -54,6 +55,11 @@ type PointOpts struct {
 	Reps    int  // repetitions (the paper uses 10)
 	Delays  bool // tiny random delays between ops (memory test)
 	Memory  bool // sample heap usage
+	// Batch > 1 drives the workload through queueapi.EnqueueBatch /
+	// DequeueBatch in chunks of this size (native Batcher when the
+	// queue has one, generic fallback otherwise). One batched call
+	// counts as Batch operations.
+	Batch int
 }
 
 // Point is one (queue, thread-count) measurement.
@@ -122,6 +128,10 @@ func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops f
 			defer wg.Done()
 			barrier.Wait()
 			rng := seed*2654435761 + 1
+			if opts.Batch > 1 {
+				runBatched(h, w, perThread, opts, rng)
+				return
+			}
 			for i := 0; i < perThread; i++ {
 				switch w {
 				case Pairwise:
@@ -161,6 +171,42 @@ func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops f
 		memMB = float64(q.Footprint())/(1<<20) + heapMB
 	}
 	return stats.Mops(opts.Ops, elapsed), memMB, nil
+}
+
+// runBatched is the batched twin of the scalar workload loop: the
+// same op mix, issued in chunks of opts.Batch through the queueapi
+// batch helpers. Operations are counted like the scalar loop counts
+// attempts: each transferred value is one op, and a batch call that
+// moves nothing (queue empty/full) still counts as one probe — so
+// batched and scalar Mops stay comparable on the empty-heavy
+// workloads.
+func runBatched(h queueapi.Handle, w Workload, perThread int, opts PointOpts, rng uint64) {
+	in := make([]uint64, opts.Batch)
+	out := make([]uint64, opts.Batch)
+	for i := range in {
+		rng = xorshift(rng)
+		in[i] = rng
+	}
+	for i := 0; i < perThread; {
+		switch w {
+		case Pairwise:
+			i += max(queueapi.EnqueueBatch(h, in), 1)
+			i += max(queueapi.DequeueBatch(h, out), 1)
+		case Mixed:
+			rng = xorshift(rng)
+			if rng&1 == 0 {
+				i += max(queueapi.EnqueueBatch(h, in), 1)
+			} else {
+				i += max(queueapi.DequeueBatch(h, out), 1)
+			}
+		case EmptyDeq:
+			i += max(queueapi.DequeueBatch(h, out), 1)
+		}
+		if opts.Delays {
+			rng = xorshift(rng)
+			spin(int(rng % 64))
+		}
+	}
 }
 
 // xorshift is a tiny per-thread PRNG (no allocation, no locks).

@@ -51,10 +51,10 @@ func TestLCRQUnavailableProducesErrPoint(t *testing.T) {
 
 func TestFiguresComplete(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 8 {
-		t.Fatalf("have %d figures, want 8 (10a-12c)", len(figs))
+	if len(figs) != 10 {
+		t.Fatalf("have %d figures, want 10 (10a-12c + s1,s2)", len(figs))
 	}
-	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c"}
+	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2"}
 	for i, f := range figs {
 		if f.ID != want[i] {
 			t.Fatalf("figure %d is %q, want %q", i, f.ID, want[i])
@@ -102,6 +102,46 @@ func TestFigureRunAndRender(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 4 { // header + title + 2 thread rows
 		t.Fatalf("unexpected table shape:\n%s", out)
+	}
+}
+
+func TestRunPointBatched(t *testing.T) {
+	// The batched loop must work for a native Batcher (Sharded) and
+	// for fallback queues alike, on every workload.
+	for _, name := range []string{"Sharded", "wCQ"} {
+		for _, w := range []Workload{Pairwise, Mixed, EmptyDeq} {
+			name, w := name, w
+			t.Run(name+"/"+w.String(), func(t *testing.T) {
+				cfg := queues.Config{Capacity: 1 << 10, MaxThreads: 8}
+				opts := smallOpts(3)
+				opts.Batch = 16
+				pt := RunPoint(name, cfg, w, opts)
+				if pt.Err != nil {
+					t.Fatalf("point error: %v", pt.Err)
+				}
+				if pt.Mops.Mean <= 0 {
+					t.Fatalf("non-positive throughput: %+v", pt.Mops)
+				}
+			})
+		}
+	}
+}
+
+func TestScaleOutFigures(t *testing.T) {
+	for _, id := range []string{"s1", "s2"} {
+		f, err := FigureByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, q := range f.Queues {
+			if q == "Sharded" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("figure %s missing the Sharded queue", id)
+		}
 	}
 }
 

@@ -30,8 +30,9 @@ type Int64 struct {
 	_ [CacheLineSize - 8]byte
 }
 
-// Bool is an atomic bool padded to a full cache line.
+// Bool is an atomic bool padded to a full cache line. atomic.Bool
+// wraps a uint32, so the pad is CacheLineSize-4, not CacheLineSize-1.
 type Bool struct {
 	V atomic.Bool
-	_ [CacheLineSize - 1]byte
+	_ [CacheLineSize - 4]byte
 }

@@ -1,0 +1,55 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The whole point of this package is byte-exact layout; these tests
+// pin it so a refactor (or a new field) cannot silently reintroduce
+// false sharing.
+
+func TestLineSize(t *testing.T) {
+	if s := unsafe.Sizeof(Line{}); s != CacheLineSize {
+		t.Fatalf("Line occupies %d bytes, want %d", s, CacheLineSize)
+	}
+}
+
+func TestPaddedSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s != CacheLineSize {
+		t.Fatalf("Uint64 occupies %d bytes, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Int64{}); s != CacheLineSize {
+		t.Fatalf("Int64 occupies %d bytes, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Bool{}); s != CacheLineSize {
+		t.Fatalf("Bool occupies %d bytes, want %d", s, CacheLineSize)
+	}
+}
+
+func TestAdjacentElementsDoNotShareLines(t *testing.T) {
+	var pair [2]Uint64
+	a := uintptr(unsafe.Pointer(&pair[0].V))
+	b := uintptr(unsafe.Pointer(&pair[1].V))
+	if b-a < CacheLineSize {
+		t.Fatalf("adjacent Uint64 values %d bytes apart, want >= %d", b-a, CacheLineSize)
+	}
+}
+
+func TestAtomicsUsable(t *testing.T) {
+	var u Uint64
+	u.V.Store(42)
+	if u.V.Add(1) != 43 {
+		t.Fatal("padded Uint64 atomic broken")
+	}
+	var i Int64
+	i.V.Store(-7)
+	if i.V.Load() != -7 {
+		t.Fatal("padded Int64 atomic broken")
+	}
+	var b Bool
+	b.V.Store(true)
+	if !b.V.Load() {
+		t.Fatal("padded Bool atomic broken")
+	}
+}

@@ -33,3 +33,51 @@ type Handle interface {
 	// Dequeue removes the oldest value; false means empty.
 	Dequeue() (uint64, bool)
 }
+
+// Batcher is the optional batch extension of Handle. Queues that can
+// amortize per-operation overhead (shard selection, handle lookup)
+// implement it natively; everything else is served by the
+// EnqueueBatch/DequeueBatch fallbacks below, so harnesses can drive
+// batched workloads against any registered queue.
+type Batcher interface {
+	// EnqueueBatch appends a prefix of vs in order and returns its
+	// length; a short count means the queue filled up mid-batch. The
+	// values enqueued are always vs[:n], preserving the caller's FIFO
+	// order.
+	EnqueueBatch(vs []uint64) int
+	// DequeueBatch fills a prefix of out and returns its length; 0
+	// means the queue appeared empty.
+	DequeueBatch(out []uint64) int
+}
+
+// EnqueueBatch appends a prefix of vs through h, using the native
+// Batcher when h implements it and a one-at-a-time loop otherwise.
+// It returns how many values were enqueued.
+func EnqueueBatch(h Handle, vs []uint64) int {
+	if b, ok := h.(Batcher); ok {
+		return b.EnqueueBatch(vs)
+	}
+	for i, v := range vs {
+		if !h.Enqueue(v) {
+			return i
+		}
+	}
+	return len(vs)
+}
+
+// DequeueBatch fills a prefix of out through h, using the native
+// Batcher when h implements it. It returns how many values were
+// written; it stops early the first time the queue reports empty.
+func DequeueBatch(h Handle, out []uint64) int {
+	if b, ok := h.(Batcher); ok {
+		return b.DequeueBatch(out)
+	}
+	for i := range out {
+		v, ok := h.Dequeue()
+		if !ok {
+			return i
+		}
+		out[i] = v
+	}
+	return len(out)
+}

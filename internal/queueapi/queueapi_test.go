@@ -1,0 +1,128 @@
+package queueapi
+
+import "testing"
+
+// sliceHandle is a trivial bounded queue with no native Batcher — the
+// fallback path target.
+type sliceHandle struct {
+	vs  []uint64
+	cap int
+}
+
+func (h *sliceHandle) Enqueue(v uint64) bool {
+	if len(h.vs) >= h.cap {
+		return false
+	}
+	h.vs = append(h.vs, v)
+	return true
+}
+
+func (h *sliceHandle) Dequeue() (uint64, bool) {
+	if len(h.vs) == 0 {
+		return 0, false
+	}
+	v := h.vs[0]
+	h.vs = h.vs[1:]
+	return v, true
+}
+
+// batchHandle implements Batcher natively and records that the native
+// path was taken.
+type batchHandle struct {
+	sliceHandle
+	nativeEnq, nativeDeq int
+}
+
+func (h *batchHandle) EnqueueBatch(vs []uint64) int {
+	h.nativeEnq++
+	for i, v := range vs {
+		if !h.Enqueue(v) {
+			return i
+		}
+	}
+	return len(vs)
+}
+
+func (h *batchHandle) DequeueBatch(out []uint64) int {
+	h.nativeDeq++
+	for i := range out {
+		v, ok := h.Dequeue()
+		if !ok {
+			return i
+		}
+		out[i] = v
+	}
+	return len(out)
+}
+
+func TestEnqueueBatchFallback(t *testing.T) {
+	h := &sliceHandle{cap: 8}
+	if n := EnqueueBatch(h, []uint64{1, 2, 3}); n != 3 {
+		t.Fatalf("EnqueueBatch = %d, want 3", n)
+	}
+	// FIFO order survives the fallback.
+	for _, want := range []uint64{1, 2, 3} {
+		v, ok := h.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("got (%d,%v), want %d", v, ok, want)
+		}
+	}
+}
+
+func TestEnqueueBatchFallbackShortCountIsPrefix(t *testing.T) {
+	h := &sliceHandle{cap: 2}
+	if n := EnqueueBatch(h, []uint64{10, 11, 12, 13}); n != 2 {
+		t.Fatalf("EnqueueBatch = %d, want 2 (capacity)", n)
+	}
+	for _, want := range []uint64{10, 11} {
+		v, ok := h.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("got (%d,%v), want %d", v, ok, want)
+		}
+	}
+}
+
+func TestDequeueBatchFallback(t *testing.T) {
+	h := &sliceHandle{cap: 8}
+	for i := uint64(0); i < 5; i++ {
+		h.Enqueue(i)
+	}
+	out := make([]uint64, 3)
+	if n := DequeueBatch(h, out); n != 3 {
+		t.Fatalf("DequeueBatch = %d, want 3", n)
+	}
+	for i, want := range []uint64{0, 1, 2} {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	// Second call drains the remainder and reports the short count.
+	big := make([]uint64, 8)
+	if n := DequeueBatch(h, big); n != 2 {
+		t.Fatalf("DequeueBatch = %d, want 2", n)
+	}
+	if n := DequeueBatch(h, big); n != 0 {
+		t.Fatalf("empty queue yielded %d", n)
+	}
+}
+
+func TestBatchHelpersPreferNativeBatcher(t *testing.T) {
+	h := &batchHandle{sliceHandle: sliceHandle{cap: 8}}
+	EnqueueBatch(h, []uint64{1, 2, 3})
+	out := make([]uint64, 3)
+	DequeueBatch(h, out)
+	if h.nativeEnq != 1 || h.nativeDeq != 1 {
+		t.Fatalf("native Batcher bypassed: enq=%d deq=%d", h.nativeEnq, h.nativeDeq)
+	}
+}
+
+func TestDequeueBatchEmptyOut(t *testing.T) {
+	h := &sliceHandle{cap: 8}
+	h.Enqueue(1)
+	if n := DequeueBatch(h, nil); n != 0 {
+		t.Fatalf("nil out yielded %d", n)
+	}
+	if n := EnqueueBatch(h, nil); n != 0 {
+		t.Fatalf("nil in consumed %d", n)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/msq"
 	"repro/internal/queueapi"
 	"repro/internal/scq"
+	"repro/internal/sharded"
 	"repro/internal/wcq"
 	"repro/internal/ymc"
 )
@@ -33,6 +34,9 @@ type Config struct {
 	// LCRQOrder overrides the CRQ ring order (default 12, as in the
 	// paper).
 	LCRQOrder uint
+	// Shards is the sub-queue count for the Sharded composition
+	// (default sharded.DefaultShards).
+	Shards int
 	// WCQ tuning; nil selects the paper's defaults.
 	WCQOptions *wcq.Options
 }
@@ -50,6 +54,17 @@ func (c Config) withDefaults() Config {
 // Builder constructs a queue implementation.
 type Builder func(Config) (queueapi.Queue, error)
 
+// wcqOptions merges cfg.Mode into a private copy of cfg.WCQOptions,
+// so builders never write through the caller's pointer.
+func wcqOptions(cfg Config) *wcq.Options {
+	var o wcq.Options
+	if cfg.WCQOptions != nil {
+		o = *cfg.WCQOptions
+	}
+	o.Mode = cfg.Mode
+	return &o
+}
+
 var registry = map[string]Builder{
 	"wCQ":     NewWCQ,
 	"SCQ":     NewSCQ,
@@ -59,6 +74,7 @@ var registry = map[string]Builder{
 	"CCQueue": NewCCQueue,
 	"MSQueue": NewMSQueue,
 	"FAA":     NewFAA,
+	"Sharded": NewShardedWCQ,
 }
 
 // Names returns the registered queue names, sorted.
@@ -81,9 +97,10 @@ func New(name string, cfg Config) (queueapi.Queue, error) {
 }
 
 // RealQueues lists the names that are actual FIFO queues (excludes the
-// FAA pseudo-queue), in the paper's figure order.
+// FAA pseudo-queue), in the paper's figure order, followed by the
+// post-paper Sharded composition.
 func RealQueues() []string {
-	return []string{"wCQ", "SCQ", "LCRQ", "YMC", "CRTurn", "CCQueue", "MSQueue"}
+	return []string{"wCQ", "SCQ", "LCRQ", "YMC", "CRTurn", "CCQueue", "MSQueue", "Sharded"}
 }
 
 // --- wCQ ---
@@ -98,11 +115,7 @@ type wcqHandle struct{ h *wcq.QueueHandle[uint64] }
 // NewWCQ builds the paper's contribution: the wait-free circular queue.
 func NewWCQ(cfg Config) (queueapi.Queue, error) {
 	cfg = cfg.withDefaults()
-	opts := cfg.WCQOptions
-	if opts == nil {
-		opts = &wcq.Options{}
-	}
-	opts.Mode = cfg.Mode
+	opts := wcqOptions(cfg)
 	q, err := wcq.NewQueue[uint64](cfg.Capacity, cfg.MaxThreads, opts)
 	if err != nil {
 		return nil, err
@@ -287,3 +300,44 @@ func (w *faaQueue) Name() string                     { return "FAA" }
 
 func (h *faaHandle) Enqueue(v uint64) bool   { h.q.Enqueue(v); return true }
 func (h *faaHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
+
+// --- Sharded composition ---
+
+type shardedQueue struct{ q *sharded.Queue[uint64] }
+type shardedHandle struct{ h *sharded.Handle[uint64] }
+
+// NewShardedWCQ builds the sharded composition over wCQ sub-queues:
+// cfg.Shards independent rings with per-handle enqueue affinity and
+// work-stealing dequeue. cfg.Capacity is the TOTAL capacity, split
+// evenly across shards.
+func NewShardedWCQ(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	q, err := sharded.New[uint64](cfg.Capacity, cfg.MaxThreads, &sharded.Options{
+		Shards: cfg.Shards,
+		WCQ:    wcqOptions(cfg),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &shardedQueue{q: q}, nil
+}
+
+func (w *shardedQueue) Handle() (queueapi.Handle, error) {
+	h, err := w.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &shardedHandle{h: h}, nil
+}
+func (w *shardedQueue) Cap() uint64       { return w.q.Cap() }
+func (w *shardedQueue) Footprint() uint64 { return w.q.Footprint() }
+func (w *shardedQueue) Name() string      { return "Sharded" }
+
+func (h *shardedHandle) Enqueue(v uint64) bool   { return h.h.Enqueue(v) }
+func (h *shardedHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
+
+// EnqueueBatch/DequeueBatch expose the native queueapi.Batcher: the
+// sharded queue pays shard selection once per batch instead of once
+// per value.
+func (h *shardedHandle) EnqueueBatch(vs []uint64) int  { return h.h.EnqueueBatch(vs) }
+func (h *shardedHandle) DequeueBatch(out []uint64) int { return h.h.DequeueBatch(out) }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/checker"
+	"repro/internal/queueapi"
 )
 
 func testCfg() Config {
@@ -15,7 +16,7 @@ func testCfg() Config {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(Names()) != 8 {
+	if len(Names()) != 9 {
 		t.Fatalf("registry has %d entries: %v", len(Names()), Names())
 	}
 	if _, err := New("nope", testCfg()); err == nil {
@@ -188,10 +189,10 @@ func TestBoundedFullBehaviour(t *testing.T) {
 }
 
 func TestFootprintSemantics(t *testing.T) {
-	// wCQ and SCQ have fixed footprints; LCRQ's grows with allocated
-	// rings.
+	// wCQ, SCQ and Sharded have fixed footprints; LCRQ's grows with
+	// allocated rings.
 	cfg := testCfg()
-	for _, name := range []string{"wCQ", "SCQ"} {
+	for _, name := range []string{"wCQ", "SCQ", "Sharded"} {
 		q, _ := New(name, cfg)
 		if q.Footprint() == 0 {
 			t.Errorf("%s: zero footprint", name)
@@ -200,5 +201,74 @@ func TestFootprintSemantics(t *testing.T) {
 	q, _ := New("LCRQ", cfg)
 	if q.Footprint() == 0 {
 		t.Error("LCRQ: zero initial footprint (has one ring)")
+	}
+}
+
+func TestMPMCBatched(t *testing.T) {
+	// Batched conformance: the Sharded queue exercises its native
+	// queueapi.Batcher, every other queue the generic fallback.
+	for _, name := range RealQueues() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = checker.RunBatch(q, checker.Config{
+				Producers: 3, Consumers: 3, PerProducer: 4000, Capacity: 256,
+			}, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestShardedConfig(t *testing.T) {
+	// Capacity is split across shards; totals and shard counts must
+	// line up, and indivisible capacities fail fast.
+	cfg := testCfg()
+	cfg.Shards = 8
+	q, err := New("Sharded", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != cfg.Capacity {
+		t.Fatalf("Cap() = %d, want total %d", q.Cap(), cfg.Capacity)
+	}
+	cfg.Shards = 3
+	if _, err := New("Sharded", cfg); err == nil {
+		t.Fatal("capacity 256 over 3 shards accepted")
+	}
+}
+
+func TestShardedBatcherInterface(t *testing.T) {
+	// The Sharded handle must expose the native batcher so harnesses
+	// skip the one-at-a-time fallback.
+	q, err := New("Sharded", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Handle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := h.(queueapi.Batcher)
+	if !ok {
+		t.Fatal("Sharded handle does not implement queueapi.Batcher")
+	}
+	vs := []uint64{1, 2, 3, 4, 5}
+	if n := b.EnqueueBatch(vs); n != len(vs) {
+		t.Fatalf("EnqueueBatch = %d, want %d", n, len(vs))
+	}
+	out := make([]uint64, 8)
+	if n := b.DequeueBatch(out); n != len(vs) {
+		t.Fatalf("DequeueBatch = %d, want %d", n, len(vs))
+	}
+	// One handle's batch comes back in enqueue order (per-shard FIFO).
+	for i, v := range out[:len(vs)] {
+		if v != vs[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, v, vs[i])
+		}
 	}
 }

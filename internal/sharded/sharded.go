@@ -1,0 +1,365 @@
+// Package sharded composes N independent wCQ (or SCQ) shards into one
+// MPMC FIFO that spreads the single fetch-and-add hot word of the
+// underlying queues across N head/tail pairs — the "independent
+// sub-structure" scaling step the paper's evaluation motivates once a
+// single ring saturates.
+//
+// # Semantics
+//
+// Each handle has a fixed home shard assigned round-robin at
+// registration; all of its enqueues go there, so any one handle's
+// values traverse exactly one linearizable FIFO and per-(shard,handle)
+// order is preserved — the per-producer FIFO property the checker
+// verifies survives sharding. Dequeue probes the home shard first
+// (one probe in balanced workloads, and every handle preferentially
+// drains the shard it fills), then steals round-robin from a
+// persistent per-handle cursor, visiting every shard before reporting
+// empty — so no shard starves even with a single consumer.
+//
+// The relaxations relative to a single wCQ are the usual sharding
+// trade-offs, and are deliberate:
+//
+//   - Global inter-producer ordering is not linearizable: values from
+//     different handles live in different shards and may be observed
+//     in either order. Per-handle order is strict.
+//   - Enqueue reports full when the handle's HOME shard is full, even
+//     if other shards have room (capacity is per-shard, Cap() is the
+//     sum). Producers that spin on full make progress as long as any
+//     consumer is draining, because consumers scan every shard.
+//   - Dequeue reports empty only after one full scan of all shards; a
+//     value enqueued to an already-scanned shard during the scan may
+//     be missed once, like any emptiness check that is not a snapshot.
+//
+// # Batching
+//
+// EnqueueBatch/DequeueBatch amortize the per-operation handle and
+// shard-selection overhead: an enqueue batch pays the home-shard lookup
+// once, a dequeue batch drains runs of values from one shard before
+// rotating. They implement the queueapi.Batcher contract natively.
+package sharded
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/scq"
+	"repro/internal/wcq"
+)
+
+// Backend selects the queue algorithm used for each shard.
+type Backend int
+
+const (
+	// WCQ shards are wait-free (the default).
+	WCQ Backend = iota
+	// SCQ shards are lock-free and need no per-thread census.
+	SCQ
+)
+
+func (b Backend) String() string {
+	if b == SCQ {
+		return "SCQ"
+	}
+	return "wCQ"
+}
+
+// DefaultShards is the shard count used when Options.Shards is 0.
+const DefaultShards = 4
+
+// Options tunes the sharded composition.
+type Options struct {
+	// Shards is the number of independent sub-queues (default
+	// DefaultShards). Total capacity is split evenly, so capacity /
+	// Shards must itself be a power of two >= 2.
+	Shards int
+	// Backend selects wCQ (wait-free, default) or SCQ (lock-free).
+	Backend Backend
+	// WCQ tunes the wCQ shards; nil selects the paper's defaults. The
+	// Mode field also applies to SCQ shards.
+	WCQ *wcq.Options
+}
+
+func (o *Options) withDefaults() Options {
+	var v Options
+	if o != nil {
+		v = *o
+	}
+	if v.Shards == 0 {
+		v.Shards = DefaultShards
+	}
+	return v
+}
+
+// Queue is a sharded MPMC FIFO of values of type T. Exactly one of
+// wqs/sqs is non-nil, selected by the backend; the split (instead of
+// an interface per shard) keeps the hot path free of dynamic dispatch
+// so the thin wCQ handle wrappers still inline.
+type Queue[T any] struct {
+	wqs      []*wcq.Queue[T]
+	sqs      []*scq.Queue[T]
+	perCap   uint64
+	backend  Backend
+	nextHome atomic.Int64
+}
+
+// Handle is a goroutine's capability to use a sharded Queue. Like the
+// underlying wCQ handles it must not be shared between goroutines.
+// Exactly one of (homeW, ws) / (homeS, ss) is populated, matching the
+// queue's backend.
+type Handle[T any] struct {
+	homeW  *wcq.QueueHandle[T]
+	homeS  *scq.Queue[T]
+	ws     []*wcq.QueueHandle[T]
+	ss     []*scq.Queue[T]
+	n      int // shard count
+	home   int
+	cursor int // steal scan position, persists across calls
+	streak int // consecutive steals from shard `cursor`
+}
+
+// stealStride bounds how many consecutive steals a handle takes from
+// one foreign shard before its steal cursor rotates onward. Sticking
+// to a yielding shard is cheap; the bound guarantees the steal scan
+// visits every shard at least once per stealStride*Shards steals, so
+// no shard starves even when one stays hot.
+const stealStride = 128
+
+// New returns an empty sharded queue of total capacity `capacity`
+// (split evenly across shards), usable by at most maxThreads handles.
+// capacity / shards must be a power of two >= 2, and every handle
+// registers with every shard, so each shard is built for maxThreads.
+func New[T any](capacity uint64, maxThreads int, opts *Options) (*Queue[T], error) {
+	o := opts.withDefaults()
+	if o.Shards < 1 {
+		return nil, fmt.Errorf("sharded: shard count must be >= 1, got %d", o.Shards)
+	}
+	if capacity == 0 || capacity%uint64(o.Shards) != 0 {
+		return nil, fmt.Errorf("sharded: capacity %d not divisible by %d shards", capacity, o.Shards)
+	}
+	per := capacity / uint64(o.Shards)
+	if per < 2 || per&(per-1) != 0 {
+		return nil, fmt.Errorf("sharded: per-shard capacity %d (= %d/%d) must be a power of two >= 2",
+			per, capacity, o.Shards)
+	}
+	q := &Queue[T]{perCap: per, backend: o.Backend}
+	var mode atomicx.Mode
+	if o.WCQ != nil {
+		mode = o.WCQ.Mode
+	}
+	for i := 0; i < o.Shards; i++ {
+		switch o.Backend {
+		case SCQ:
+			sq, err := scq.NewQueue[T](per, mode)
+			if err != nil {
+				return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
+			}
+			q.sqs = append(q.sqs, sq)
+		default:
+			wq, err := wcq.NewQueue[T](per, maxThreads, o.WCQ)
+			if err != nil {
+				return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
+			}
+			q.wqs = append(q.wqs, wq)
+		}
+	}
+	return q, nil
+}
+
+// Register allocates a handle with home-shard affinity assigned
+// round-robin across registrations. Safe to call concurrently.
+func (q *Queue[T]) Register() (*Handle[T], error) {
+	n := q.Shards()
+	home := int((q.nextHome.Add(1) - 1) % int64(n))
+	h := &Handle[T]{n: n, home: home, cursor: home}
+	if q.sqs != nil {
+		// SCQ shards are stateless per-thread: the queue is the handle.
+		h.ss = q.sqs
+		h.homeS = q.sqs[home]
+		return h, nil
+	}
+	h.ws = make([]*wcq.QueueHandle[T], n)
+	for i, wq := range q.wqs {
+		wh, err := wq.Register()
+		if err != nil {
+			return nil, fmt.Errorf("sharded: registering with shard %d: %w", i, err)
+		}
+		h.ws[i] = wh
+	}
+	h.homeW = h.ws[home]
+	return h, nil
+}
+
+// Shards returns the shard count.
+func (q *Queue[T]) Shards() int {
+	if q.sqs != nil {
+		return len(q.sqs)
+	}
+	return len(q.wqs)
+}
+
+// Backend returns the per-shard algorithm.
+func (q *Queue[T]) Backend() Backend { return q.backend }
+
+// Cap returns the total capacity (sum over shards).
+func (q *Queue[T]) Cap() uint64 { return q.perCap * uint64(q.Shards()) }
+
+// Footprint returns the bytes allocated at construction, summed over
+// shards; like wCQ, nothing is allocated afterwards.
+func (q *Queue[T]) Footprint() uint64 {
+	var total uint64
+	for _, wq := range q.wqs {
+		total += wq.Footprint()
+	}
+	for _, sq := range q.sqs {
+		total += sq.Footprint()
+	}
+	return total
+}
+
+// Enqueue appends v to the handle's home shard; false means that shard
+// is full (see the package comment for the capacity relaxation).
+func (h *Handle[T]) Enqueue(v T) bool {
+	if h.homeW != nil {
+		return h.homeW.Enqueue(v)
+	}
+	return h.homeS.Enqueue(v)
+}
+
+// Dequeue removes the oldest value of some shard: the home shard
+// first (the hit case in balanced workloads — one probe, and every
+// handle preferentially drains the shard it fills), then a stealing
+// scan over the others from the persistent cursor. ok is false only
+// after home plus a full scan found every shard empty.
+func (h *Handle[T]) Dequeue() (v T, ok bool) {
+	if h.homeW != nil {
+		if v, ok = h.homeW.Dequeue(); ok {
+			return v, ok
+		}
+	} else if v, ok = h.homeS.Dequeue(); ok {
+		return v, ok
+	}
+	return h.steal()
+}
+
+// probe is one dequeue attempt against shard s (steal path only; the
+// backend branch is off the hot path).
+func (h *Handle[T]) probe(s int) (T, bool) {
+	if h.ws != nil {
+		return h.ws[s].Dequeue()
+	}
+	return h.ss[s].Dequeue()
+}
+
+// steal scans the foreign shards round-robin from the cursor. On a
+// hit the cursor sticks (the shard likely has more) up to stealStride
+// consecutive steals, then rotates onward.
+func (h *Handle[T]) steal() (v T, ok bool) {
+	for i := 0; i < h.n; i++ {
+		s := h.cursor + i
+		if s >= h.n {
+			s -= h.n
+		}
+		if s == h.home {
+			continue // already probed
+		}
+		if v, ok := h.probe(s); ok {
+			if s == h.cursor {
+				h.streak++
+			} else {
+				h.streak = 1
+			}
+			if h.streak >= stealStride {
+				h.streak = 0
+				s++
+				if s == h.n {
+					s = 0
+				}
+			}
+			h.cursor = s
+			return v, true
+		}
+	}
+	return v, false
+}
+
+// EnqueueBatch appends vs in order to the home shard, stopping at the
+// first full rejection; it returns how many values were enqueued (a
+// prefix of vs, preserving per-handle FIFO order). The home shard is
+// resolved once for the whole batch.
+func (h *Handle[T]) EnqueueBatch(vs []T) int {
+	if w := h.homeW; w != nil {
+		for i, v := range vs {
+			if !w.Enqueue(v) {
+				return i
+			}
+		}
+		return len(vs)
+	}
+	s := h.homeS
+	for i, v := range vs {
+		if !s.Enqueue(v) {
+			return i
+		}
+	}
+	return len(vs)
+}
+
+// DequeueBatch fills out with values: a draining run from the home
+// shard first, then stealing runs from the other shards round-robin
+// from the persistent cursor. It returns how many values were
+// written; 0 means home plus a full scan found all shards empty.
+func (h *Handle[T]) DequeueBatch(out []T) int {
+	filled := 0
+	if w := h.homeW; w != nil {
+		for filled < len(out) {
+			v, ok := w.Dequeue()
+			if !ok {
+				break
+			}
+			out[filled] = v
+			filled++
+		}
+	} else {
+		for filled < len(out) {
+			v, ok := h.homeS.Dequeue()
+			if !ok {
+				break
+			}
+			out[filled] = v
+			filled++
+		}
+	}
+	start := h.cursor
+	for i := 0; i < h.n && filled < len(out); i++ {
+		s := start + i
+		if s >= h.n {
+			s -= h.n
+		}
+		if s == h.home {
+			continue // already drained
+		}
+		drained := false
+		for filled < len(out) {
+			v, ok := h.probe(s)
+			if !ok {
+				drained = true
+				break
+			}
+			out[filled] = v
+			filled++
+		}
+		if !drained {
+			h.cursor = s // buffer full, shard may have more
+			h.streak = 0
+		} else if filled > 0 {
+			next := s + 1
+			if next == h.n {
+				next = 0
+			}
+			h.cursor = next
+			h.streak = 0
+		}
+	}
+	return filled
+}

@@ -1,0 +1,236 @@
+package sharded_test
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/queueapi"
+	"repro/internal/sharded"
+	"repro/internal/wcq"
+)
+
+// apiQueue adapts the generic sharded queue to queueapi for the
+// checker (the production adapter lives in internal/queues; this one
+// keeps the package's own tests self-contained).
+type apiQueue struct{ q *sharded.Queue[uint64] }
+type apiHandle struct{ h *sharded.Handle[uint64] }
+
+func (a *apiQueue) Handle() (queueapi.Handle, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &apiHandle{h: h}, nil
+}
+func (a *apiQueue) Cap() uint64       { return a.q.Cap() }
+func (a *apiQueue) Footprint() uint64 { return a.q.Footprint() }
+func (a *apiQueue) Name() string      { return "sharded-test" }
+
+func (h *apiHandle) Enqueue(v uint64) bool       { return h.h.Enqueue(v) }
+func (h *apiHandle) Dequeue() (uint64, bool)     { return h.h.Dequeue() }
+func (h *apiHandle) EnqueueBatch(v []uint64) int { return h.h.EnqueueBatch(v) }
+func (h *apiHandle) DequeueBatch(o []uint64) int { return h.h.DequeueBatch(o) }
+
+func mustNew(t *testing.T, capacity uint64, threads int, opts *sharded.Options) *sharded.Queue[uint64] {
+	t.Helper()
+	q, err := sharded.New[uint64](capacity, threads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestConstructionValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity uint64
+		threads  int
+		opts     *sharded.Options
+	}{
+		{"zero shards invalid", 64, 4, &sharded.Options{Shards: -1}},
+		{"capacity not divisible", 100, 4, &sharded.Options{Shards: 3}},
+		{"per-shard capacity below 2", 4, 4, &sharded.Options{Shards: 4}},
+		{"per-shard capacity not power of two", 24, 4, &sharded.Options{Shards: 2}},
+		{"zero capacity", 0, 4, nil},
+	}
+	for _, c := range cases {
+		if _, err := sharded.New[uint64](c.capacity, c.threads, c.opts); err == nil {
+			t.Errorf("%s: accepted (capacity=%d, opts=%+v)", c.name, c.capacity, c.opts)
+		}
+	}
+}
+
+func TestDefaultsAndAccessors(t *testing.T) {
+	q := mustNew(t, 256, 4, nil)
+	if q.Shards() != sharded.DefaultShards {
+		t.Fatalf("Shards() = %d, want default %d", q.Shards(), sharded.DefaultShards)
+	}
+	if q.Cap() != 256 {
+		t.Fatalf("Cap() = %d, want 256", q.Cap())
+	}
+	if q.Footprint() == 0 {
+		t.Fatal("zero footprint")
+	}
+	if q.Backend() != sharded.WCQ {
+		t.Fatalf("Backend() = %v, want wCQ", q.Backend())
+	}
+}
+
+func TestPerHandleFIFO(t *testing.T) {
+	// A single handle enqueues to one shard, so its values come back
+	// in strict order no matter how many shards exist.
+	q := mustNew(t, 64, 2, &sharded.Options{Shards: 8})
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty queue returned a value")
+	}
+}
+
+func TestWorkStealing(t *testing.T) {
+	// Values enqueued via one handle (one home shard) must be visible
+	// to a handle whose home is a different shard.
+	q := mustNew(t, 64, 4, &sharded.Options{Shards: 4})
+	producer, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	thief, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !producer.Enqueue(42) {
+		t.Fatal("enqueue failed")
+	}
+	v, ok := thief.Dequeue()
+	if !ok || v != 42 {
+		t.Fatalf("steal got (%d,%v), want 42", v, ok)
+	}
+}
+
+func TestNoShardStarvation(t *testing.T) {
+	// Register one handle per shard, enqueue through each, then drain
+	// everything through a single consumer: the rotating cursor must
+	// visit every shard.
+	const shards = 4
+	q := mustNew(t, 64, shards+1, &sharded.Options{Shards: shards})
+	for i := 0; i < shards; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Enqueue(uint64(i)) {
+			t.Fatalf("enqueue to shard %d failed", i)
+		}
+	}
+	consumer, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < shards; i++ {
+		v, ok := consumer.Dequeue()
+		if !ok {
+			t.Fatalf("drain stalled after %d values", i)
+		}
+		seen[v] = true
+	}
+	if len(seen) != shards {
+		t.Fatalf("drained %d distinct values, want %d", len(seen), shards)
+	}
+}
+
+func TestEnqueueBatchPrefixOnFull(t *testing.T) {
+	// A short EnqueueBatch count must be a prefix: the home shard here
+	// holds 4, so a batch of 6 enqueues exactly the first 4.
+	q := mustNew(t, 8, 2, &sharded.Options{Shards: 2})
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []uint64{10, 11, 12, 13, 14, 15}
+	if n := h.EnqueueBatch(batch); n != 4 {
+		t.Fatalf("EnqueueBatch = %d, want 4 (per-shard capacity)", n)
+	}
+	for i := uint64(10); i < 14; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDequeueBatchDrainsAcrossShards(t *testing.T) {
+	q := mustNew(t, 64, 3, &sharded.Options{Shards: 2})
+	h1, _ := q.Register()
+	h2, _ := q.Register()
+	for i := uint64(0); i < 5; i++ {
+		h1.Enqueue(i)
+		h2.Enqueue(100 + i)
+	}
+	consumer, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, 16)
+	if n := consumer.DequeueBatch(out); n != 10 {
+		t.Fatalf("DequeueBatch = %d, want 10 (both shards drained)", n)
+	}
+	if n := consumer.DequeueBatch(out); n != 0 {
+		t.Fatalf("empty queue yielded %d values", n)
+	}
+}
+
+func TestSCQBackend(t *testing.T) {
+	q := mustNew(t, 64, 4, &sharded.Options{Shards: 4, Backend: sharded.SCQ})
+	if q.Backend() != sharded.SCQ {
+		t.Fatalf("Backend() = %v, want SCQ", q.Backend())
+	}
+	a := &apiQueue{q: q}
+	if err := checker.Run(a, checker.Config{Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerMPMC(t *testing.T) {
+	// Global no-loss/no-dup plus per-producer FIFO under concurrency —
+	// the linearizable-per-shard composition property.
+	q := mustNew(t, 256, 16, &sharded.Options{Shards: 4})
+	a := &apiQueue{q: q}
+	if err := checker.Run(a, checker.Config{Producers: 4, Consumers: 4, PerProducer: 5000, Capacity: 256}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerBatchedMPMC(t *testing.T) {
+	q := mustNew(t, 256, 16, &sharded.Options{Shards: 4})
+	a := &apiQueue{q: q}
+	if err := checker.RunBatch(a, checker.Config{Producers: 4, Consumers: 4, PerProducer: 5000, Capacity: 256}, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerSlowPath(t *testing.T) {
+	// Patience 1 forces the wCQ helped slow path inside every shard.
+	q := mustNew(t, 64, 14, &sharded.Options{
+		Shards: 2,
+		WCQ:    &wcq.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1},
+	})
+	a := &apiQueue{q: q}
+	if err := checker.Run(a, checker.Config{Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 64}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,12 +27,18 @@
 // envelope, no helping (lock-free progress only, no handle census).
 // NewRing / NewLockFreeRing expose the underlying index rings for
 // allocator-style use (DPDK/SPDK-like index pools, Figure 2 of the
-// paper).
+// paper). NewSharded composes several wCQ rings behind one interface
+// — per-handle enqueue affinity, work-stealing dequeue and native
+// batch operations — for workloads that saturate a single ring's
+// head/tail word.
 package wfqueue
 
 import (
+	"fmt"
+
 	"repro/internal/atomicx"
 	"repro/internal/scq"
+	"repro/internal/sharded"
 	"repro/internal/wcq"
 )
 
@@ -44,6 +50,7 @@ type options struct {
 	enqPatience int
 	deqPatience int
 	helpDelay   int
+	shards      int
 }
 
 // WithEmulatedFAA makes every fetch-and-add a CAS loop, modelling
@@ -67,7 +74,28 @@ func WithHelpDelay(n int) Option {
 	return func(o *options) { o.helpDelay = n }
 }
 
-func buildOpts(opts []Option) (*wcq.Options, atomicx.Mode) {
+// WithShards sets the shard count for NewSharded (default 4). The
+// total capacity is split evenly, so capacity/n must itself be a
+// power of two >= 2. Other constructors ignore this option.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// validate enforces the documented constructor contract at the public
+// boundary, in this package's own vocabulary (the internal layers
+// carry their own checks, but callers of wfqueue should see wfqueue
+// errors phrased against the public docs).
+func validate(capacity uint64, maxThreads int) error {
+	if maxThreads < 1 {
+		return fmt.Errorf("wfqueue: maxThreads must be >= 1, got %d", maxThreads)
+	}
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return fmt.Errorf("wfqueue: capacity must be a power of two >= 2, got %d", capacity)
+	}
+	return nil
+}
+
+func buildOpts(opts []Option) (*wcq.Options, options) {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
@@ -77,7 +105,7 @@ func buildOpts(opts []Option) (*wcq.Options, atomicx.Mode) {
 		EnqPatience: o.enqPatience,
 		DeqPatience: o.deqPatience,
 		HelpDelay:   o.helpDelay,
-	}, o.mode
+	}, o
 }
 
 // Queue is a bounded wait-free MPMC FIFO of values of type T.
@@ -95,6 +123,9 @@ type Handle[T any] struct {
 // (a power of two >= 2), operated by at most maxThreads concurrent
 // handles.
 func New[T any](capacity uint64, maxThreads int, opts ...Option) (*Queue[T], error) {
+	if err := validate(capacity, maxThreads); err != nil {
+		return nil, err
+	}
 	wo, _ := buildOpts(opts)
 	q, err := wcq.NewQueue[T](capacity, maxThreads, wo)
 	if err != nil {
@@ -144,6 +175,9 @@ type RingHandle struct {
 // NewRing returns an empty wait-free index ring. If full is true it is
 // pre-filled with 0..capacity-1 (a free-index pool).
 func NewRing(capacity uint64, maxThreads int, full bool, opts ...Option) (*Ring, error) {
+	if err := validate(capacity, maxThreads); err != nil {
+		return nil, err
+	}
 	wo, _ := buildOpts(opts)
 	var r *wcq.Ring
 	var err error
@@ -187,8 +221,11 @@ type LockFreeQueue[T any] struct {
 
 // NewLockFree returns an empty lock-free (SCQ) queue.
 func NewLockFree[T any](capacity uint64, opts ...Option) (*LockFreeQueue[T], error) {
-	_, mode := buildOpts(opts)
-	q, err := scq.NewQueue[T](capacity, mode)
+	if err := validate(capacity, 1); err != nil {
+		return nil, err
+	}
+	_, o := buildOpts(opts)
+	q, err := scq.NewQueue[T](capacity, o.mode)
 	if err != nil {
 		return nil, err
 	}
@@ -203,3 +240,81 @@ func (q *LockFreeQueue[T]) Dequeue() (T, bool) { return q.q.Dequeue() }
 
 // Cap returns the queue capacity.
 func (q *LockFreeQueue[T]) Cap() uint64 { return q.q.Cap() }
+
+// ShardedQueue composes several independent wCQ rings into one queue
+// that spreads the single head/tail hot word across shards: each
+// handle enqueues to a fixed home shard (assigned round-robin at
+// Handle time) and dequeues round-robin with work stealing, so no
+// shard starves. Any one handle's values come back in strict FIFO
+// order; values from different handles may interleave in either
+// order. Enqueue reports full when the handle's home shard is full
+// (capacity is split evenly across shards).
+type ShardedQueue[T any] struct {
+	q *sharded.Queue[T]
+}
+
+// ShardedHandle is a goroutine's capability to use a ShardedQueue.
+// Not safe for concurrent use by multiple goroutines.
+type ShardedHandle[T any] struct {
+	h *sharded.Handle[T]
+}
+
+// NewSharded returns an empty sharded queue of total capacity
+// `capacity` split across WithShards(n) sub-queues (default 4);
+// capacity/n must itself be a power of two >= 2, so non-power-of-two
+// shard counts work as long as the per-shard quotient is (e.g.
+// capacity 12 over 3 shards of 4). Every handle registers with every
+// shard, so maxThreads bounds handles globally.
+func NewSharded[T any](capacity uint64, maxThreads int, opts ...Option) (*ShardedQueue[T], error) {
+	// The total capacity need not be a power of two — only the
+	// per-shard quotient must be, which sharded.New validates.
+	if maxThreads < 1 {
+		return nil, fmt.Errorf("wfqueue: maxThreads must be >= 1, got %d", maxThreads)
+	}
+	wo, o := buildOpts(opts)
+	q, err := sharded.New[T](capacity, maxThreads, &sharded.Options{
+		Shards: o.shards,
+		WCQ:    wo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedQueue[T]{q: q}, nil
+}
+
+// Handle registers the calling goroutine, assigning its home shard
+// round-robin. It fails once maxThreads handles exist.
+func (q *ShardedQueue[T]) Handle() (*ShardedHandle[T], error) {
+	h, err := q.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedHandle[T]{h: h}, nil
+}
+
+// Cap returns the total capacity (summed over shards).
+func (q *ShardedQueue[T]) Cap() uint64 { return q.q.Cap() }
+
+// Shards returns the shard count.
+func (q *ShardedQueue[T]) Shards() int { return q.q.Shards() }
+
+// Footprint returns the bytes allocated at construction, summed over
+// shards; the queue never allocates afterwards.
+func (q *ShardedQueue[T]) Footprint() uint64 { return q.q.Footprint() }
+
+// Enqueue appends v to the handle's home shard; false means that
+// shard is full.
+func (h *ShardedHandle[T]) Enqueue(v T) bool { return h.h.Enqueue(v) }
+
+// Dequeue removes the oldest value of some shard; ok is false only
+// after every shard looked empty in one scan.
+func (h *ShardedHandle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
+
+// EnqueueBatch appends a prefix of vs in order, paying the shard
+// selection once for the whole batch; it returns how many values were
+// enqueued (short counts mean the home shard filled up).
+func (h *ShardedHandle[T]) EnqueueBatch(vs []T) int { return h.h.EnqueueBatch(vs) }
+
+// DequeueBatch fills a prefix of out, draining runs from one shard
+// before rotating; it returns how many values were written.
+func (h *ShardedHandle[T]) DequeueBatch(out []T) int { return h.h.DequeueBatch(out) }

@@ -2,6 +2,7 @@ package wfqueue
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -182,6 +183,108 @@ func TestLockFreeVariant(t *testing.T) {
 	}
 	if q.Cap() != 8 {
 		t.Fatal("cap")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	// The documented contract — capacity a power of two >= 2,
+	// maxThreads >= 1 — must fail fast with a descriptive error at the
+	// public boundary.
+	bad := []struct {
+		name     string
+		capacity uint64
+		threads  int
+	}{
+		{"zero capacity", 0, 2},
+		{"capacity one", 1, 2},
+		{"non-power-of-two capacity", 24, 2},
+		{"zero threads", 8, 0},
+		{"negative threads", 8, -3},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New[int](c.capacity, c.threads); err == nil {
+				t.Errorf("New(%d, %d) accepted", c.capacity, c.threads)
+			}
+			if _, err := NewRing(c.capacity, c.threads, false); err == nil {
+				t.Errorf("NewRing(%d, %d) accepted", c.capacity, c.threads)
+			}
+			if _, err := NewSharded[int](c.capacity, c.threads); err == nil {
+				t.Errorf("NewSharded(%d, %d) accepted", c.capacity, c.threads)
+			}
+		})
+	}
+	if _, err := NewLockFree[int](24); err == nil {
+		t.Error("NewLockFree(24) accepted a non-power-of-two capacity")
+	}
+	if _, err := NewSharded[int](64, 2, WithShards(64)); err == nil {
+		t.Error("NewSharded with per-shard capacity 1 accepted")
+	}
+	// Error text must name the violated constraint.
+	_, err := New[int](24, 2)
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	_, err = New[int](8, 0)
+	if err == nil || !strings.Contains(err.Error(), "maxThreads") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestShardedQueue(t *testing.T) {
+	q, err := NewSharded[string](64, 8, WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Shards() != 8 || q.Cap() != 64 || q.Footprint() == 0 {
+		t.Fatalf("Shards=%d Cap=%d Footprint=%d", q.Shards(), q.Cap(), q.Footprint())
+	}
+	h, err := q.Handle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One handle's values come back in strict FIFO order.
+	for _, s := range []string{"a", "b", "c"} {
+		if !h.Enqueue(s) {
+			t.Fatalf("enqueue %q failed", s)
+		}
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		v, ok := h.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("got (%q,%v), want %q", v, ok, want)
+		}
+	}
+	// Batch round trip.
+	in := []string{"x", "y", "z"}
+	if n := h.EnqueueBatch(in); n != 3 {
+		t.Fatalf("EnqueueBatch = %d", n)
+	}
+	out := make([]string, 4)
+	if n := h.DequeueBatch(out); n != 3 {
+		t.Fatalf("DequeueBatch = %d", n)
+	}
+	for i, want := range in {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i], want)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty queue returned a value")
+	}
+}
+
+func TestShardedCrossHandleVisibility(t *testing.T) {
+	q, err := NewSharded[int](32, 4, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, _ := q.Handle()
+	consumer, _ := q.Handle()
+	producer.Enqueue(7)
+	v, ok := consumer.Dequeue()
+	if !ok || v != 7 {
+		t.Fatalf("cross-handle dequeue got (%d,%v), want 7", v, ok)
 	}
 }
 
