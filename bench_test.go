@@ -2,11 +2,13 @@
 // paper's evaluation (Figs. 10a-12c), plus microbenchmarks of the
 // public API. `go test -bench=Fig -benchmem` prints a compact series
 // per figure; `cmd/wcqbench` produces the full tables.
-package wfqueue
+package wfqueue_test
 
 import (
 	"fmt"
 	"testing"
+
+	wfqueue "repro"
 
 	"repro/internal/harness"
 	"repro/internal/queues"
@@ -98,7 +100,7 @@ func BenchmarkScaleOut(b *testing.B) {
 // --- Public API microbenchmarks ---
 
 func BenchmarkWCQPairSequential(b *testing.B) {
-	q, _ := New[uint64](1<<12, 2)
+	q, _ := wfqueue.New[uint64](1<<12, 2)
 	h, _ := q.Handle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -108,7 +110,7 @@ func BenchmarkWCQPairSequential(b *testing.B) {
 }
 
 func BenchmarkSCQPairSequential(b *testing.B) {
-	q, _ := NewLockFree[uint64](1 << 12)
+	q, _ := wfqueue.NewLockFree[uint64](1 << 12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Enqueue(uint64(i))
@@ -128,7 +130,7 @@ func BenchmarkGoChannelPairSequential(b *testing.B) {
 }
 
 func BenchmarkShardedPairSequential(b *testing.B) {
-	q, _ := NewSharded[uint64](1<<12, 2)
+	q, _ := wfqueue.NewSharded[uint64](1<<12, 2)
 	h, _ := q.Handle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -138,7 +140,7 @@ func BenchmarkShardedPairSequential(b *testing.B) {
 }
 
 func BenchmarkShardedBatchSequential(b *testing.B) {
-	q, _ := NewSharded[uint64](1<<12, 2)
+	q, _ := wfqueue.NewSharded[uint64](1<<12, 2)
 	h, _ := q.Handle()
 	in := make([]uint64, 32)
 	out := make([]uint64, 32)
@@ -150,7 +152,7 @@ func BenchmarkShardedBatchSequential(b *testing.B) {
 }
 
 func BenchmarkWCQPairParallel(b *testing.B) {
-	q, _ := New[uint64](1<<12, 64)
+	q, _ := wfqueue.New[uint64](1<<12, 64)
 	b.RunParallel(func(pb *testing.PB) {
 		h, err := q.Handle()
 		if err != nil {
@@ -165,7 +167,7 @@ func BenchmarkWCQPairParallel(b *testing.B) {
 }
 
 func BenchmarkSCQPairParallel(b *testing.B) {
-	q, _ := NewLockFree[uint64](1 << 12)
+	q, _ := wfqueue.NewLockFree[uint64](1 << 12)
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			q.Enqueue(1)
@@ -175,7 +177,7 @@ func BenchmarkSCQPairParallel(b *testing.B) {
 }
 
 func BenchmarkShardedPairParallel(b *testing.B) {
-	q, _ := NewSharded[uint64](1<<12, 64)
+	q, _ := wfqueue.NewSharded[uint64](1<<12, 64)
 	b.RunParallel(func(pb *testing.PB) {
 		h, err := q.Handle()
 		if err != nil {
@@ -200,7 +202,7 @@ func BenchmarkGoChannelPairParallel(b *testing.B) {
 }
 
 func BenchmarkWCQEmptyDequeue(b *testing.B) {
-	q, _ := New[uint64](1<<12, 2)
+	q, _ := wfqueue.New[uint64](1<<12, 2)
 	h, _ := q.Handle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -209,7 +211,7 @@ func BenchmarkWCQEmptyDequeue(b *testing.B) {
 }
 
 func BenchmarkRingIndexPool(b *testing.B) {
-	pool, _ := NewRing(1<<10, 2, true)
+	pool, _ := wfqueue.NewRing(1<<10, 2, true)
 	h, _ := pool.Handle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -227,11 +229,11 @@ func BenchmarkAblationPatience(b *testing.B) {
 		enq, deq int
 	}{{"patience=1", 1, 1}, {"patience=default", 0, 0}} {
 		b.Run(pat.name, func(b *testing.B) {
-			var opts []Option
+			var opts []wfqueue.Option
 			if pat.enq > 0 {
-				opts = append(opts, WithPatience(pat.enq, pat.deq))
+				opts = append(opts, wfqueue.WithPatience(pat.enq, pat.deq))
 			}
-			q, _ := New[uint64](1<<10, 8, opts...)
+			q, _ := wfqueue.New[uint64](1<<10, 8, opts...)
 			b.RunParallel(func(pb *testing.PB) {
 				h, err := q.Handle()
 				if err != nil {
@@ -252,10 +254,10 @@ func BenchmarkAblationPatience(b *testing.B) {
 func BenchmarkAblationEmulatedFAA(b *testing.B) {
 	for _, m := range []struct {
 		name string
-		opts []Option
-	}{{"native", nil}, {"emulated", []Option{WithEmulatedFAA()}}} {
+		opts []wfqueue.Option
+	}{{"native", nil}, {"emulated", []wfqueue.Option{wfqueue.WithEmulatedFAA()}}} {
 		b.Run(m.name, func(b *testing.B) {
-			q, _ := New[uint64](1<<10, 8, m.opts...)
+			q, _ := wfqueue.New[uint64](1<<10, 8, m.opts...)
 			b.RunParallel(func(pb *testing.PB) {
 				h, err := q.Handle()
 				if err != nil {

@@ -1,0 +1,350 @@
+package wfqueue
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/park"
+	"repro/internal/queueapi"
+)
+
+// ErrClosed is returned by Chan operations after Close: sends fail
+// with it immediately, receives fail with it once the buffered values
+// have drained. It aliases the repository-wide sentinel so internal
+// harnesses can match it with errors.Is.
+var ErrClosed = queueapi.ErrClosed
+
+// Backend selects the nonblocking core a Chan is built on.
+type Backend int
+
+const (
+	// BackendWCQ buffers on the wait-free wCQ queue (the default).
+	BackendWCQ Backend = iota
+	// BackendSCQ buffers on the lock-free SCQ queue. It has no handle
+	// census, so a Chan over it accepts any number of Handles.
+	BackendSCQ
+	// BackendSharded buffers on the sharded wCQ composition (see
+	// NewSharded); tune the shard count with WithShards.
+	BackendSharded
+)
+
+// String names the backend as the queue registry does.
+func (b Backend) String() string {
+	switch b {
+	case BackendWCQ:
+		return "wCQ"
+	case BackendSCQ:
+		return "SCQ"
+	case BackendSharded:
+		return "Sharded"
+	}
+	return "?"
+}
+
+// WithBackend selects the nonblocking core NewChan builds on. Other
+// constructors ignore this option.
+func WithBackend(b Backend) Option {
+	return func(o *options) { o.backend = b }
+}
+
+// chanCore abstracts the nonblocking queue a Chan buffers on.
+type chanCore[T any] interface {
+	newHandle() (chanCoreHandle[T], error)
+	capacity() uint64
+	footprint() uint64
+}
+
+// chanCoreHandle is the per-goroutine nonblocking view every backend
+// already provides: bounded-step enqueue/dequeue that report
+// full/empty instead of blocking.
+type chanCoreHandle[T any] interface {
+	Enqueue(T) bool
+	Dequeue() (T, bool)
+}
+
+type wcqChanCore[T any] struct{ q *Queue[T] }
+
+func (c wcqChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q.Handle() }
+func (c wcqChanCore[T]) capacity() uint64                      { return c.q.Cap() }
+func (c wcqChanCore[T]) footprint() uint64                     { return c.q.Footprint() }
+
+type scqChanCore[T any] struct{ q *LockFreeQueue[T] }
+
+func (c scqChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q, nil }
+func (c scqChanCore[T]) capacity() uint64                      { return c.q.Cap() }
+func (c scqChanCore[T]) footprint() uint64                     { return c.q.Footprint() }
+
+type shardedChanCore[T any] struct{ q *ShardedQueue[T] }
+
+func (c shardedChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q.Handle() }
+func (c shardedChanCore[T]) capacity() uint64                      { return c.q.Cap() }
+func (c shardedChanCore[T]) footprint() uint64                     { return c.q.Footprint() }
+
+// Chan is a blocking, closable facade over one of the nonblocking
+// queues — the buffered-channel shape services want at the edge of a
+// system, layered on the wait-free cores without touching their hot
+// paths. Senders and receivers park (futex-style, via internal/park)
+// when the buffer is full or empty; no operation spin-polls.
+//
+// The close contract mirrors Go channels but stays a library: Close
+// makes every subsequent or blocked Send return ErrClosed (the value
+// is NOT buffered), while receives keep draining buffered values and
+// return ErrClosed only once the Chan is closed AND empty. Unlike a
+// Go channel, closing twice returns ErrClosed instead of panicking,
+// and sending on a closed Chan is an error, not a panic.
+//
+// Like the queues underneath, a Chan is used through per-goroutine
+// Handles (the wCQ census); a Handle must not be shared by two
+// goroutines running concurrently.
+//
+// With BackendSharded, "full" follows the sharded queue's semantics:
+// a sender blocks when its handle's home shard (capacity/shards
+// values) fills, even if other shards have room. Receivers drain all
+// shards, so blocked senders still make progress.
+type Chan[T any] struct {
+	core     chanCore[T]
+	notEmpty park.Point // receivers park here
+	notFull  park.Point // senders park here
+	// shardedFull marks the sharded backend, where "full" is a
+	// per-home-shard condition: a slot freed in one shard is useless
+	// to a sender homed elsewhere, so receivers must wake every
+	// parked sender to re-check its own shard (FIFO Wake(1) could
+	// hand the only wake to a sender whose shard is still full, which
+	// re-parks and strands a free slot forever).
+	shardedFull bool
+	closed      atomic.Bool
+	// sending counts in-flight Send/TrySend calls. Receivers treat
+	// "closed" as final only once this is zero: a sender that passed
+	// the closed check may still be buffering its value, and draining
+	// receivers must not give up before it lands (or aborts).
+	sending atomic.Int64
+}
+
+// ChanHandle is a goroutine's capability to use a Chan. Not safe for
+// concurrent use by multiple goroutines.
+type ChanHandle[T any] struct {
+	c *Chan[T]
+	h chanCoreHandle[T]
+}
+
+// NewChan returns an empty blocking channel facade buffering up to
+// capacity values (a power of two >= 2) on the backend selected with
+// WithBackend (default BackendWCQ), operated by at most maxThreads
+// concurrent Handles (ignored by BackendSCQ, which has no census).
+func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], error) {
+	_, o := buildOpts(opts)
+	var core chanCore[T]
+	switch o.backend {
+	case BackendWCQ:
+		q, err := New[T](capacity, maxThreads, opts...)
+		if err != nil {
+			return nil, err
+		}
+		core = wcqChanCore[T]{q}
+	case BackendSCQ:
+		q, err := NewLockFree[T](capacity, opts...)
+		if err != nil {
+			return nil, err
+		}
+		core = scqChanCore[T]{q}
+	case BackendSharded:
+		q, err := NewSharded[T](capacity, maxThreads, opts...)
+		if err != nil {
+			return nil, err
+		}
+		core = shardedChanCore[T]{q}
+	default:
+		return nil, fmt.Errorf("wfqueue: unknown chan backend %d", o.backend)
+	}
+	return &Chan[T]{core: core, shardedFull: o.backend == BackendSharded}, nil
+}
+
+// wakeNotFull wakes parked senders after a slot frees up: one sender
+// on single-ring backends (any sender can use any slot), all of them
+// on the sharded backend (see shardedFull).
+func (c *Chan[T]) wakeNotFull() {
+	if c.shardedFull {
+		c.notFull.WakeAll()
+	} else {
+		c.notFull.Wake(1)
+	}
+}
+
+// Handle registers the calling goroutine and returns its handle. For
+// census-bound backends it fails once maxThreads handles exist.
+func (c *Chan[T]) Handle() (*ChanHandle[T], error) {
+	h, err := c.core.newHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &ChanHandle[T]{c: c, h: h}, nil
+}
+
+// Cap returns the buffer capacity.
+func (c *Chan[T]) Cap() uint64 { return c.core.capacity() }
+
+// Footprint returns the bytes the backing queue allocated at
+// construction; the buffer itself never allocates afterwards (parked
+// waiters draw from a shared pool).
+func (c *Chan[T]) Footprint() uint64 { return c.core.footprint() }
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed.Load() }
+
+// Close closes the Chan: blocked and future sends fail with
+// ErrClosed, receives drain the buffer and then fail with ErrClosed.
+// A second Close returns ErrClosed.
+func (c *Chan[T]) Close() error {
+	if c.closed.Swap(true) {
+		return ErrClosed
+	}
+	c.notEmpty.WakeAll()
+	c.notFull.WakeAll()
+	return nil
+}
+
+// finishSend retires one in-flight send and wakes receivers: one
+// receiver for a delivered value, every parked receiver once the Chan
+// is closed (each must re-evaluate the closed-and-drained condition
+// now that the in-flight count moved).
+func (c *Chan[T]) finishSend(delivered bool) {
+	c.sending.Add(-1)
+	if c.closed.Load() {
+		c.notEmpty.WakeAll()
+	} else if delivered {
+		c.notEmpty.Wake(1)
+	}
+}
+
+// TrySend is the nonblocking send: ok reports whether v was buffered
+// (false with a nil error means the buffer is full), and err is
+// ErrClosed after Close.
+func (h *ChanHandle[T]) TrySend(v T) (ok bool, err error) {
+	c := h.c
+	c.sending.Add(1)
+	if c.closed.Load() {
+		c.finishSend(false)
+		return false, ErrClosed
+	}
+	ok = h.h.Enqueue(v)
+	c.finishSend(ok)
+	return ok, nil
+}
+
+// Send blocks until v is buffered, parking when the buffer is full.
+// It returns ErrClosed (without buffering v) if the Chan closes
+// first.
+func (h *ChanHandle[T]) Send(v T) error { return h.SendCtx(context.Background(), v) }
+
+// SendCtx is Send bounded by ctx: it returns ctx.Err() if the
+// context expires before space frees up (v is not buffered).
+func (h *ChanHandle[T]) SendCtx(ctx context.Context, v T) error {
+	c := h.c
+	c.sending.Add(1)
+	for {
+		if c.closed.Load() {
+			c.finishSend(false)
+			return ErrClosed
+		}
+		if h.h.Enqueue(v) {
+			c.finishSend(true)
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			c.finishSend(false)
+			return err
+		}
+		w := c.notFull.Prepare()
+		// Re-check after registering: a receiver may have freed a
+		// slot (or the Chan closed) before our waiter was visible,
+		// in which case its wake cannot have targeted us.
+		if c.closed.Load() {
+			c.notFull.Abort(w)
+			c.finishSend(false)
+			return ErrClosed
+		}
+		if h.h.Enqueue(v) {
+			c.notFull.Abort(w)
+			c.finishSend(true)
+			return nil
+		}
+		select {
+		case <-w.Ready():
+			c.notFull.Finish(w)
+		case <-ctx.Done():
+			c.notFull.Abort(w)
+			c.finishSend(false)
+			return ctx.Err()
+		}
+	}
+}
+
+// TryRecv is the nonblocking receive: ok reports whether a value was
+// taken (false with a nil error means the buffer is empty), and err
+// is ErrClosed once the Chan is closed and drained.
+func (h *ChanHandle[T]) TryRecv() (v T, ok bool, err error) {
+	c := h.c
+	if v, ok := h.h.Dequeue(); ok {
+		c.wakeNotFull()
+		return v, true, nil
+	}
+	var zero T
+	if c.closed.Load() && c.sending.Load() == 0 {
+		// Final re-check: with the in-flight counter at zero after
+		// close, every completed send's value is visible.
+		if v, ok := h.h.Dequeue(); ok {
+			c.wakeNotFull()
+			return v, true, nil
+		}
+		return zero, false, ErrClosed
+	}
+	return zero, false, nil
+}
+
+// Recv blocks until a value arrives, parking while the buffer is
+// empty. After Close it keeps draining buffered values and returns
+// ErrClosed once none remain.
+func (h *ChanHandle[T]) Recv() (T, error) { return h.RecvCtx(context.Background()) }
+
+// RecvCtx is Recv bounded by ctx: it returns ctx.Err() if the
+// context expires while the buffer is still empty.
+func (h *ChanHandle[T]) RecvCtx(ctx context.Context) (T, error) {
+	c := h.c
+	var zero T
+	for {
+		if v, ok := h.h.Dequeue(); ok {
+			c.wakeNotFull()
+			return v, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		w := c.notEmpty.Prepare()
+		// Re-check after registering (lost-wakeup protocol).
+		if v, ok := h.h.Dequeue(); ok {
+			c.notEmpty.Abort(w)
+			c.wakeNotFull()
+			return v, nil
+		}
+		if c.closed.Load() && c.sending.Load() == 0 {
+			if v, ok := h.h.Dequeue(); ok {
+				c.notEmpty.Abort(w)
+				c.wakeNotFull()
+				return v, nil
+			}
+			c.notEmpty.Abort(w)
+			// Nudge any sibling still parked so it re-evaluates the
+			// drained state too.
+			c.notEmpty.WakeAll()
+			return zero, ErrClosed
+		}
+		select {
+		case <-w.Ready():
+			c.notEmpty.Finish(w)
+		case <-ctx.Done():
+			c.notEmpty.Abort(w)
+			return zero, ctx.Err()
+		}
+	}
+}

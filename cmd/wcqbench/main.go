@@ -1,5 +1,6 @@
 // Command wcqbench regenerates the tables behind every figure of the
-// wCQ paper's evaluation (SPAA '22, §6, Figs. 10-12).
+// wCQ paper's evaluation (SPAA '22, §6, Figs. 10-12) and the
+// post-paper figures (s1/s2 sharded scale-out, b1 blocking facade).
 //
 // Usage:
 //
@@ -9,12 +10,15 @@
 //	wcqbench -figure all -record EXPERIMENTS.md
 //	wcqbench -figure s1 -shards 8        # sharded scale-out sweep
 //	wcqbench -figure s2 -batch 32        # batched 50/50 workload
+//	wcqbench -blocking                   # blocking figures + wakeup latency
+//	wcqbench -figure all -json BENCH_queue.json
 //
 // Absolute numbers depend on the host; the reproduction target is the
 // SHAPE of each figure (who wins, by what factor, where lines cross).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,30 +26,76 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clihelper"
 	"repro/internal/harness"
 )
 
+// benchFile is the machine-readable result format (-json): one record
+// per run, one point per (figure, queue, threads). It is what lets
+// the perf trajectory be tracked across commits instead of living in
+// prose.
+type benchFile struct {
+	Schema     string       `json:"schema"` // "wcqbench/v1"
+	Time       string       `json:"time"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Ops        int          `json:"ops"`
+	Reps       int          `json:"reps"`
+	Points     []benchPoint `json:"points"`
+}
+
+type benchPoint struct {
+	Figure   string  `json:"figure"`
+	Queue    string  `json:"queue"`
+	Threads  int     `json:"threads"`
+	Batch    int     `json:"batch,omitempty"`
+	MopsMin  float64 `json:"mops_min,omitempty"`
+	MopsMean float64 `json:"mops_mean,omitempty"`
+	MemoryMB float64 `json:"memory_mb,omitempty"`
+	Err      string  `json:"error,omitempty"`
+}
+
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure id (10a,10b,11a,11b,11c,12a,12b,12c) or 'all'")
-		ops     = flag.Int("ops", 200_000, "operations per measurement point (paper: 10,000,000)")
-		reps    = flag.Int("reps", 3, "repetitions per point (paper: 10)")
-		maxThr  = flag.Int("maxthreads", 0, "truncate the thread sweep (0 = full paper sweep)")
-		queuesF = flag.String("queues", "", "comma-separated queue subset (default: figure's full line-up)")
-		record  = flag.String("record", "", "append results as a markdown section to this file")
-		shards  = flag.Int("shards", 0, "shard count for the Sharded queue (0 = default 4)")
-		batch   = flag.Int("batch", 0, "batch size; > 1 drives workloads through EnqueueBatch/DequeueBatch")
+		figure   = flag.String("figure", "all", "figure id (10a..12c, s1, s2, b1) or 'all'")
+		ops      = flag.Int("ops", 200_000, "operations per measurement point (paper: 10,000,000)")
+		reps     = flag.Int("reps", 3, "repetitions per point (paper: 10)")
+		maxThr   = flag.Int("maxthreads", 0, "truncate the thread sweep (0 = full paper sweep)")
+		queuesF  = flag.String("queues", "", "comma-separated queue subset (default: figure's full line-up)")
+		record   = flag.String("record", "", "append results as a markdown section to this file")
+		jsonPath = flag.String("json", "", "write machine-readable results (wcqbench/v1) to this file, e.g. BENCH_queue.json")
+		latSamp  = flag.Int("latency-samples", 50, "wakeup-latency samples per blocking queue")
 	)
+	shared := clihelper.Register(flag.CommandLine, 1<<16)
 	flag.Parse()
 
-	opts := harness.RunOpts{Ops: *ops, Reps: *reps, MaxThreads: *maxThr, Shards: *shards, Batch: *batch}
+	opts := harness.RunOpts{
+		Ops:        *ops,
+		Reps:       *reps,
+		MaxThreads: *maxThr,
+		Shards:     shared.Shards,
+		Batch:      shared.Batch,
+		Capacity:   shared.Capacity,
+		Emulate:    shared.Emulate,
+		WCQ:        shared.WCQOptions(),
+	}
+	if shared.Capacity == 1<<16 {
+		opts.Capacity = 0 // the default: let each figure use the paper's ring size
+	}
 	if *queuesF != "" {
 		opts.Queues = strings.Split(*queuesF, ",")
 	}
 
 	var figs []harness.Figure
 	if *figure == "all" {
-		figs = harness.Figures()
+		for _, f := range harness.Figures() {
+			// -blocking narrows "all" to the blocking figures, the same
+			// way -queue all narrows to the Chan facades in wcqstress.
+			if shared.Blocking && !f.Blocking {
+				continue
+			}
+			figs = append(figs, f)
+		}
 	} else {
 		f, err := harness.FigureByID(*figure)
 		if err != nil {
@@ -60,17 +110,45 @@ func main() {
 		time.Now().Format(time.RFC3339), runtime.GOMAXPROCS(0), runtime.NumCPU())
 	fmt.Fprintf(&md, "ops/point=%d reps=%d\n\n", *ops, *reps)
 
+	jf := benchFile{
+		Schema:     "wcqbench/v1",
+		Time:       time.Now().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Ops:        *ops,
+		Reps:       *reps,
+	}
+
 	for _, f := range figs {
 		start := time.Now()
 		pts := f.Run(opts)
 		f.Render(os.Stdout, pts, opts)
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		for _, pt := range pts {
+			bp := benchPoint{Figure: f.ID, Queue: pt.Queue, Threads: pt.Threads}
+			if !f.Blocking {
+				// The blocking workload ignores -batch; stamping it here
+				// would record a batched run that never happened.
+				bp.Batch = shared.Batch
+			}
+			if pt.Err != nil {
+				bp.Err = pt.Err.Error()
+			} else {
+				bp.MopsMin = pt.Mops.Min
+				bp.MopsMean = pt.Mops.Mean
+				bp.MemoryMB = pt.MemoryMB
+			}
+			jf.Points = append(jf.Points, bp)
+		}
 		if *record != "" {
 			md.WriteString("### Figure " + f.ID + ": " + f.Title + "\n\n```\n")
 			var sb strings.Builder
 			f.Render(&sb, pts, opts)
 			md.WriteString(sb.String())
 			md.WriteString("```\n\n")
+		}
+		if f.Blocking {
+			reportWakeupLatency(f, opts, shared, *latSamp, &md, *record != "")
 		}
 	}
 
@@ -86,5 +164,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("recorded to %s\n", *record)
+	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(jf, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d points)\n", *jsonPath, len(jf.Points))
+	}
+}
+
+// reportWakeupLatency prints (and optionally records) the parked-Recv
+// wakeup latency for each queue of a blocking figure — the companion
+// metric to figure b1's throughput sweep.
+func reportWakeupLatency(f harness.Figure, opts harness.RunOpts, shared *clihelper.Flags, samples int, md *strings.Builder, record bool) {
+	names := f.Queues
+	if len(opts.Queues) > 0 {
+		names = opts.Queues
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Wakeup latency (parked Recv -> Send, %d samples, µs):\n", samples)
+	for _, name := range names {
+		cfg := shared.Config(4)
+		sum, err := harness.WakeupLatency(name, cfg, samples)
+		if err != nil {
+			fmt.Fprintf(&sb, "%-12s n/a (%v)\n", name, err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-12s mean %.1f  median %.1f  min %.1f  max %.1f\n",
+			name, sum.Mean, sum.Median, sum.Min, sum.Max)
+	}
+	fmt.Print(sb.String() + "\n")
+	if record {
+		md.WriteString("```\n" + sb.String() + "```\n\n")
 	}
 }

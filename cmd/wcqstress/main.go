@@ -6,6 +6,8 @@
 //	wcqstress -queue all -slowpath            # force wCQ's helped paths
 //	wcqstress -queue Sharded -shards 8        # sharded composition
 //	wcqstress -queue all -batch 32            # batched enqueue/dequeue rounds
+//	wcqstress -blocking                       # blocking Chan facades: parked
+//	                                          # Send/Recv + graceful close/drain
 package main
 
 import (
@@ -14,65 +16,70 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/atomicx"
 	"repro/internal/checker"
+	"repro/internal/clihelper"
+	"repro/internal/queueapi"
 	"repro/internal/queues"
-	"repro/internal/wcq"
 )
 
 func main() {
 	var (
-		queue     = flag.String("queue", "wCQ", "queue name or 'all'")
+		queue     = flag.String("queue", "", "queue name or 'all' (default: wCQ, or 'all' with -blocking)")
 		producers = flag.Int("producers", 4, "producer goroutines")
 		consumers = flag.Int("consumers", 4, "consumer goroutines")
 		per       = flag.Int("per", 20000, "values per producer per round")
 		rounds    = flag.Int("rounds", 5, "checker rounds per queue")
-		capacity  = flag.Uint64("capacity", 256, "ring capacity (bounded queues)")
-		emulate   = flag.Bool("emulate", false, "CAS-emulated F&A (PowerPC mode)")
-		slowpath  = flag.Bool("slowpath", false, "wCQ: patience 1 + eager helping")
-		shards    = flag.Int("shards", 0, "shard count for the Sharded queue (0 = default 4)")
-		batch     = flag.Int("batch", 0, "> 1: drive the batched checker with this batch size")
 	)
+	shared := clihelper.Register(flag.CommandLine, 256)
 	flag.Parse()
 
-	names := []string{*queue}
-	if *queue == "all" {
-		names = queues.RealQueues()
+	if *queue == "" {
+		if shared.Blocking {
+			*queue = "all"
+		} else {
+			*queue = "wCQ"
+		}
 	}
-	cfg := queues.Config{Capacity: *capacity, MaxThreads: *producers + *consumers + 2, Shards: *shards}
-	if *emulate {
-		cfg.Mode = atomicx.EmulatedFAA
-	}
-	if *slowpath {
-		cfg.WCQOptions = &wcq.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
-	}
+	names := shared.QueueNames(*queue)
+	cfg := shared.Config(*producers + *consumers + 2)
 
 	failed := false
 	for _, name := range names {
 		for r := 0; r < *rounds; r++ {
 			q, err := queues.New(name, cfg)
 			if err != nil {
-				fmt.Printf("%-8s SKIP (%v)\n", name, err)
+				fmt.Printf("%-12s SKIP (%v)\n", name, err)
 				break
+			}
+			if shared.Blocking {
+				// An unrunnable configuration is a SKIP, not a FAIL: the
+				// blocking checker needs the close/drain surface.
+				if _, ok := q.(queueapi.Closer); !ok {
+					fmt.Printf("%-12s SKIP (not a blocking queue; use Chan/ChanSCQ/ChanSharded with -blocking)\n", name)
+					break
+				}
 			}
 			start := time.Now()
 			ccfg := checker.Config{
 				Producers:   *producers,
 				Consumers:   *consumers,
 				PerProducer: *per,
-				Capacity:    int(*capacity),
+				Capacity:    int(shared.Capacity),
 			}
-			if *batch > 1 {
-				err = checker.RunBatch(q, ccfg, *batch)
-			} else {
+			switch {
+			case shared.Blocking:
+				err = checker.RunBlocking(q, ccfg)
+			case shared.Batch > 1:
+				err = checker.RunBatch(q, ccfg, shared.Batch)
+			default:
 				err = checker.Run(q, ccfg)
 			}
 			if err != nil {
-				fmt.Printf("%-8s round %d FAIL: %v\n", name, r, err)
+				fmt.Printf("%-12s round %d FAIL: %v\n", name, r, err)
 				failed = true
 				break
 			}
-			fmt.Printf("%-8s round %d ok (%d values, %.2fs)\n",
+			fmt.Printf("%-12s round %d ok (%d values, %.2fs)\n",
 				name, r, *producers**per, time.Since(start).Seconds())
 		}
 	}

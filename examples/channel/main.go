@@ -20,7 +20,9 @@ import (
 
 // Chan is a minimal buffered-channel lookalike with non-blocking
 // semantics backed by the wait-free queue. Blocking Send/Recv spin
-// with Gosched; a runtime integration would park goroutines instead.
+// with Gosched here to keep the comparison self-contained; the
+// library's real blocking facade (wfqueue.Chan, examples/chan) parks
+// goroutines instead.
 type Chan[T any] struct {
 	q *wfqueue.Queue[T]
 }

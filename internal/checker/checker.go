@@ -13,6 +13,7 @@
 package checker
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -214,6 +215,70 @@ func RunBatch(q queueapi.Queue, cfg Config, batch int) error {
 	}
 
 	wg.Wait()
+	return vf.finish()
+}
+
+// RunBlocking drives a blocking queue — one whose handles implement
+// queueapi.Waitable and that itself implements queueapi.Closer —
+// through parked Send/Recv and a graceful Close, and verifies the
+// same three properties as Run plus the close contract: producers
+// Send every value (no spinning on full; they park), the queue is
+// closed once all producers finish, and consumers drain until Recv
+// reports ErrClosed. Every produced value must still be delivered
+// exactly once — drain semantics mean Close loses nothing.
+func RunBlocking(q queueapi.Queue, cfg Config) error {
+	closer, ok := q.(queueapi.Closer)
+	if !ok {
+		return fmt.Errorf("checker: %s does not implement queueapi.Closer", q.Name())
+	}
+
+	vf := newVerifier(cfg)
+	var producers, consumers sync.WaitGroup
+
+	for p := 0; p < cfg.Producers; p++ {
+		w, err := queueapi.WaitableHandle(q)
+		if err != nil {
+			return fmt.Errorf("producer handle: %w", err)
+		}
+		producers.Add(1)
+		go func(p int, w queueapi.Waitable) {
+			defer producers.Done()
+			for i := 0; i < cfg.PerProducer; i++ {
+				if err := w.Send(Encode(p, i)); err != nil {
+					vf.report(fmt.Errorf("producer %d: Send(%d): %w", p, i, err))
+					return
+				}
+			}
+		}(p, w)
+	}
+
+	for c := 0; c < cfg.Consumers; c++ {
+		w, err := queueapi.WaitableHandle(q)
+		if err != nil {
+			return fmt.Errorf("consumer handle: %w", err)
+		}
+		consumers.Add(1)
+		go func(w queueapi.Waitable) {
+			defer consumers.Done()
+			lastSeq := make(map[int]int, cfg.Producers)
+			for {
+				v, err := w.Recv()
+				if err != nil {
+					if !errors.Is(err, queueapi.ErrClosed) {
+						vf.report(fmt.Errorf("consumer: Recv: %w", err))
+					}
+					return
+				}
+				vf.observe(v, lastSeq)
+			}
+		}(w)
+	}
+
+	producers.Wait()
+	if err := closer.Close(); err != nil {
+		return fmt.Errorf("checker: Close: %w", err)
+	}
+	consumers.Wait()
 	return vf.finish()
 }
 

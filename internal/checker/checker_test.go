@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -83,6 +84,104 @@ func (q *lifoQueue) Dequeue() (uint64, bool) {
 	v := q.vs[len(q.vs)-1]
 	q.vs = q.vs[:len(q.vs)-1]
 	return v, true
+}
+
+// blockingRef is a trivially correct blocking queue (a Go channel)
+// used to validate RunBlocking accepts correct close/drain behaviour.
+type blockingRef struct {
+	ch   chan uint64
+	drop int // deliver every drop-th value nowhere (0 = correct)
+	mu   sync.Mutex
+	n    int
+}
+
+func newBlockingRef(capacity, drop int) *blockingRef {
+	return &blockingRef{ch: make(chan uint64, capacity), drop: drop}
+}
+
+func (q *blockingRef) Handle() (queueapi.Handle, error) { return q, nil }
+func (q *blockingRef) Cap() uint64                      { return uint64(cap(q.ch)) }
+func (q *blockingRef) Footprint() uint64                { return 0 }
+func (q *blockingRef) Name() string                     { return "blocking-ref" }
+func (q *blockingRef) Close() error                     { close(q.ch); return nil }
+
+func (q *blockingRef) Enqueue(v uint64) bool {
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+func (q *blockingRef) Dequeue() (uint64, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func (q *blockingRef) Send(v uint64) error {
+	if q.drop > 0 {
+		q.mu.Lock()
+		q.n++
+		lose := q.n%q.drop == 0
+		q.mu.Unlock()
+		if lose {
+			return nil // claims success, never delivers
+		}
+	}
+	q.ch <- v
+	return nil
+}
+func (q *blockingRef) SendCtx(ctx context.Context, v uint64) error {
+	select {
+	case q.ch <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+func (q *blockingRef) Recv() (uint64, error) {
+	v, ok := <-q.ch
+	if !ok {
+		return 0, queueapi.ErrClosed
+	}
+	return v, nil
+}
+func (q *blockingRef) RecvCtx(ctx context.Context) (uint64, error) {
+	select {
+	case v, ok := <-q.ch:
+		if !ok {
+			return 0, queueapi.ErrClosed
+		}
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func TestBlockingCheckerAcceptsCorrectQueue(t *testing.T) {
+	q := newBlockingRef(64, 0)
+	err := RunBlocking(q, Config{Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 64})
+	if err != nil {
+		t.Fatalf("correct blocking queue rejected: %v", err)
+	}
+}
+
+func TestBlockingCheckerCatchesLoss(t *testing.T) {
+	q := newBlockingRef(64, 100) // silently drops every 100th value
+	err := RunBlocking(q, Config{Producers: 2, Consumers: 2, PerProducer: 2000, Capacity: 64})
+	if err == nil {
+		t.Fatal("lost values not detected by blocking checker")
+	}
+}
+
+func TestBlockingCheckerRejectsNonBlockingQueue(t *testing.T) {
+	if err := RunBlocking(&mutexQueue{}, Config{Producers: 1, Consumers: 1, PerProducer: 1}); err == nil {
+		t.Fatal("queue without Closer/Waitable accepted")
+	}
 }
 
 func TestCheckerAcceptsCorrectQueue(t *testing.T) {

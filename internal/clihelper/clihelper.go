@@ -1,0 +1,83 @@
+// Package clihelper centralizes the queue-construction flag plumbing
+// shared by cmd/wcqbench and cmd/wcqstress, so the two tools register
+// the same flags with the same meanings and cannot drift (before this
+// package each tool declared its own subset by hand).
+package clihelper
+
+import (
+	"flag"
+
+	"repro/internal/atomicx"
+	"repro/internal/queues"
+	"repro/internal/wcq"
+)
+
+// Flags holds the queue-construction flag values common to the CLIs.
+type Flags struct {
+	// Capacity is the ring capacity for bounded queues.
+	Capacity uint64
+	// Shards is the shard count for the Sharded queue and the sharded
+	// Chan facade (0 = the default 4).
+	Shards int
+	// Batch > 1 drives batched enqueue/dequeue paths.
+	Batch int
+	// Emulate selects CAS-emulated F&A (the PowerPC configuration).
+	Emulate bool
+	// Slowpath forces wCQ's helped paths (patience 1, eager helping).
+	Slowpath bool
+	// Blocking exercises the blocking Chan facades (Send/Recv with
+	// parking and graceful close) instead of the nonblocking queues.
+	Blocking bool
+}
+
+// Register installs the shared queue-construction flags on fs. The
+// default capacity differs per tool (the bench uses the paper's 2^16,
+// the stresser a small ring that exercises full/empty transitions),
+// so it is a parameter.
+func Register(fs *flag.FlagSet, defaultCapacity uint64) *Flags {
+	f := &Flags{}
+	fs.Uint64Var(&f.Capacity, "capacity", defaultCapacity, "ring capacity (bounded queues)")
+	fs.IntVar(&f.Shards, "shards", 0, "shard count for the Sharded queue / sharded Chan (0 = default 4)")
+	fs.IntVar(&f.Batch, "batch", 0, "> 1: drive batched enqueue/dequeue with this batch size")
+	fs.BoolVar(&f.Emulate, "emulate", false, "CAS-emulated F&A (PowerPC mode)")
+	fs.BoolVar(&f.Slowpath, "slowpath", false, "wCQ: patience 1 + eager helping (forces the helped slow paths)")
+	fs.BoolVar(&f.Blocking, "blocking", false, "exercise the blocking Chan facades (parked Send/Recv, graceful close)")
+	return f
+}
+
+// Config translates the flag values into a queues.Config with the
+// given handle budget.
+func (f *Flags) Config(maxThreads int) queues.Config {
+	cfg := queues.Config{
+		Capacity:   f.Capacity,
+		MaxThreads: maxThreads,
+		Shards:     f.Shards,
+	}
+	if f.Emulate {
+		cfg.Mode = atomicx.EmulatedFAA
+	}
+	cfg.WCQOptions = f.WCQOptions()
+	return cfg
+}
+
+// WCQOptions returns the wCQ tuning implied by the flags (nil when
+// the defaults apply).
+func (f *Flags) WCQOptions() *wcq.Options {
+	if !f.Slowpath {
+		return nil
+	}
+	return &wcq.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+}
+
+// QueueNames expands a -queue selection ("all" or a concrete name)
+// honoring the blocking flag: "all" means every real queue normally
+// and every Chan facade under -blocking.
+func (f *Flags) QueueNames(selected string) []string {
+	if selected != "all" {
+		return []string{selected}
+	}
+	if f.Blocking {
+		return queues.BlockingQueues()
+	}
+	return queues.RealQueues()
+}

@@ -1,0 +1,58 @@
+package clihelper
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/queues"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := Register(fs, 1<<16)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Capacity != 1<<16 || f.Shards != 0 || f.Batch != 0 || f.Emulate || f.Slowpath || f.Blocking {
+		t.Fatalf("defaults: %+v", f)
+	}
+	cfg := f.Config(8)
+	if cfg.Capacity != 1<<16 || cfg.MaxThreads != 8 || cfg.Mode != atomicx.NativeFAA || cfg.WCQOptions != nil {
+		t.Fatalf("config: %+v", cfg)
+	}
+}
+
+func TestRegisterParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := Register(fs, 256)
+	err := fs.Parse([]string{"-capacity", "512", "-shards", "8", "-batch", "32", "-emulate", "-slowpath", "-blocking"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := f.Config(4)
+	if cfg.Capacity != 512 || cfg.Shards != 8 || cfg.Mode != atomicx.EmulatedFAA {
+		t.Fatalf("config: %+v", cfg)
+	}
+	if cfg.WCQOptions == nil || cfg.WCQOptions.EnqPatience != 1 {
+		t.Fatalf("slowpath options: %+v", cfg.WCQOptions)
+	}
+	if f.Batch != 32 || !f.Blocking {
+		t.Fatalf("flags: %+v", f)
+	}
+}
+
+func TestQueueNames(t *testing.T) {
+	var f Flags
+	if got := f.QueueNames("wCQ"); !reflect.DeepEqual(got, []string{"wCQ"}) {
+		t.Fatalf("concrete name: %v", got)
+	}
+	if got := f.QueueNames("all"); !reflect.DeepEqual(got, queues.RealQueues()) {
+		t.Fatalf("all: %v", got)
+	}
+	f.Blocking = true
+	if got := f.QueueNames("all"); !reflect.DeepEqual(got, queues.BlockingQueues()) {
+		t.Fatalf("all blocking: %v", got)
+	}
+}

@@ -39,6 +39,12 @@ type node struct {
 	enqTid int32
 	deqTid atomic.Int32
 	next   atomic.Pointer[node]
+	// consumed is set by the owning dequeuer (the thread deqTid was
+	// CAS'd to — assigned at most once, so every delivery of this node
+	// targets the same thread) when it takes the item. The owner reads
+	// it to reject stale re-deliveries (see Dequeue); helpers read it
+	// in casDeqAndHead to know head may pass the node.
+	consumed atomic.Bool
 }
 
 func newNode(item uint64, enqTid int32) *node {
@@ -165,49 +171,80 @@ func (q *Queue) helpLinkOnce() {
 // Dequeue removes the oldest value; ok is false when the queue is
 // empty.
 //
-// Port note: the original's rollback (hazard-pointer based) leaves a
+// Port notes. The original's rollback (hazard-pointer based) leaves a
 // tiny window where a helper holding a stale "request open"
 // observation assigns a node to a request that has just rolled back
 // and returned empty. Rather than lose that node, the owner detects
 // any unacknowledged delivery on its next Dequeue (deqhelp[tid] !=
 // consumedMark) and consumes it first.
+//
+// Separately, the delivery CAS in casDeqAndHead is exposed to ABA: a
+// helper that loaded head.next = N while N was current can stall
+// across several of this thread's request cycles and then deliver N
+// into a LATER open request — the guard "deqhelp == deqself" holds
+// again because the request markers have moved on. N was already
+// consumed, so accepting it would both duplicate the item and break
+// per-producer FIFO (observed under GOMAXPROCS > 1). The owner is the
+// only thread that ever consumes nodes assigned to it, so it can
+// reject such re-deliveries locally: every accepted node is flagged
+// consumed, and a delivered node carrying the flag is discarded and
+// the request re-opened. Each stale helper can force at most one such
+// retry, so termination stays bounded by the number of concurrent
+// helpers.
 func (h *Handle) Dequeue() (uint64, bool) {
 	q, tid := h.q, h.tid
 	if n := q.deqhelp[tid].Load(); n != h.consumedMark {
-		return h.consumeDelivered(n)
+		if !n.consumed.Load() {
+			return h.consumeDelivered(n)
+		}
+		// A stale helper re-delivered an old node between operations;
+		// discard it. No delivery can race this store: the request is
+		// not open (deqself != deqhelp) while the bogus node sits here.
+		q.deqhelp[tid].Store(h.consumedMark)
 	}
 	prReq := q.deqself[tid].Load()
 	myReq := q.deqhelp[tid].Load()
 	q.deqself[tid].Store(myReq) // open our request
-	// The turn discipline serves an open request within maxThreads head
-	// advances; every iteration either helps an advance, observes
-	// emptiness (rollback + return), or finds the request satisfied, so
-	// the loop terminates without a fixed bound.
-	for q.deqhelp[tid].Load() == myReq {
-		lhead := q.head.Load()
-		lnext := lhead.next.Load()
-		if lnext == nil {
-			// Looks empty: roll the request back.
-			q.deqself[tid].Store(prReq)
-			q.giveUp(myReq, tid)
-			if q.deqhelp[tid].Load() != myReq {
-				// Helped between the check and the rollback: keep the
-				// record consistent and consume the delivery.
-				q.deqself[tid].Store(myReq)
-				break
+	for {
+		// The turn discipline serves an open request within maxThreads
+		// head advances; every iteration either helps an advance,
+		// observes emptiness (rollback + return), or finds the request
+		// satisfied, so the loop terminates without a fixed bound.
+		for q.deqhelp[tid].Load() == myReq {
+			lhead := q.head.Load()
+			lnext := lhead.next.Load()
+			if lnext == nil {
+				// Looks empty: roll the request back.
+				q.deqself[tid].Store(prReq)
+				q.giveUp(myReq, tid)
+				if q.deqhelp[tid].Load() != myReq {
+					// Helped between the check and the rollback: keep the
+					// record consistent and consume the delivery.
+					q.deqself[tid].Store(myReq)
+					break
+				}
+				return 0, false
 			}
-			return 0, false
+			if q.searchNext(lhead, lnext) != noIdx {
+				q.casDeqAndHead(lhead, lnext)
+			}
 		}
-		if q.searchNext(lhead, lnext) != noIdx {
-			q.casDeqAndHead(lhead, lnext)
+		n := q.deqhelp[tid].Load()
+		if !n.consumed.Load() {
+			return h.consumeDelivered(n)
 		}
+		// Bogus re-delivery of an already-consumed node: clear it and
+		// re-open the request. The store cannot overwrite a legitimate
+		// delivery — while deqhelp holds the bogus node the request
+		// reads as satisfied, so no helper's delivery CAS can succeed.
+		q.deqhelp[tid].Store(myReq)
 	}
-	return h.consumeDelivered(q.deqhelp[tid].Load())
 }
 
 // consumeDelivered acknowledges a node delivered to this thread's
 // deqhelp slot, helps head past it, and returns its item.
 func (h *Handle) consumeDelivered(n *node) (uint64, bool) {
+	n.consumed.Store(true)
 	h.consumedMark = n
 	q := h.q
 	lhead := q.head.Load()
@@ -239,12 +276,15 @@ func (q *Queue) searchNext(lhead, lnext *node) int32 {
 // Delivery is guarded: deqhelp[idx] is CAS'd only while it still
 // equals the request's open marker (deqself[idx]); delivering
 // unconditionally could overwrite a newer request state with an old
-// node. Head may advance unconditionally because a node is always
-// delivered before head passes it: delivery precedes the head CAS in
-// every thread's program order, and with sequentially consistent
-// atomics any thread that loads head at or past lnext also observes
-// the delivery, so it can never assign a second node to the same open
-// request (searchNext reads the request state after loading head).
+// node. Head advancement is gated on the node actually having been
+// delivered (or already consumed): if the delivery could not fire —
+// say the target slot is transiently occupied by a stale helper's
+// bogus re-delivery, or the target rolled its request back — an
+// ungated advance would move head past a node no request holds,
+// losing it forever. Gated, the node stays head.next until some
+// helper's delivery succeeds (the owner discards bogus occupants and
+// re-opens, see Dequeue), so every node is delivered before head
+// passes it.
 func (q *Queue) casDeqAndHead(lhead, lnext *node) {
 	idx := lnext.deqTid.Load()
 	if idx == noIdx {
@@ -254,7 +294,9 @@ func (q *Queue) casDeqAndHead(lhead, lnext *node) {
 	if ldeqhelp != lnext && ldeqhelp == q.deqself[idx].Load() {
 		q.deqhelp[idx].CompareAndSwap(ldeqhelp, lnext)
 	}
-	q.head.CompareAndSwap(lhead, lnext)
+	if q.deqhelp[idx].Load() == lnext || lnext.consumed.Load() {
+		q.head.CompareAndSwap(lhead, lnext)
+	}
 }
 
 // giveUp runs after a rollback closed this thread's request. Its job
@@ -277,4 +319,17 @@ func (q *Queue) giveUp(myReq *node, tid int) {
 		lnext.deqTid.CompareAndSwap(noIdx, int32(tid))
 	}
 	q.casDeqAndHead(lhead, lnext)
+	// If the node ended up assigned to US, the helper-side guarded
+	// delivery can no longer fire: our request reads as rolled back
+	// (deqself was restored to the previous marker, which never equals
+	// the open marker). Deliver it to ourselves — as a CAS, because a
+	// helper still holding a pre-rollback "request open" observation
+	// may deliver a node concurrently, and overwriting that delivery
+	// would lose it. Either way the caller sees deqhelp != myReq and
+	// consumes whichever node landed.
+	if lnext.deqTid.Load() == int32(tid) && !lnext.consumed.Load() {
+		if q.deqhelp[tid].CompareAndSwap(myReq, lnext) {
+			q.head.CompareAndSwap(lhead, lnext)
+		}
+	}
 }

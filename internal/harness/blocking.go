@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/queueapi"
+	"repro/internal/queues"
+	"repro/internal/stats"
+)
+
+// BlockingSplit derives the producer/consumer role split for the
+// blocking workload from a total goroutine count: one producer per
+// four goroutines (minimum one of each), so consumers outnumber
+// producers 3:1 — the imbalance the nonblocking workloads cannot
+// express, because idle consumers park instead of spin-polling.
+func BlockingSplit(threads int) (producers, consumers int) {
+	producers = threads / 4
+	if producers < 1 {
+		producers = 1
+	}
+	consumers = threads - producers
+	if consumers < 1 {
+		consumers = 1
+	}
+	return producers, consumers
+}
+
+// runBlockingOnce builds a fresh blocking queue and drives one timed
+// run: producers Send (parking on full), the queue is closed when
+// they finish, and consumers Recv until the drain completes. Each
+// transferred value counts as two operations (send + recv), keeping
+// Mops comparable with the pairwise workload.
+func runBlockingOnce(name string, cfg queues.Config, opts PointOpts) (mops float64, memMB float64, err error) {
+	producers, consumers := BlockingSplit(opts.Threads)
+	if cfg.MaxThreads < producers+consumers+1 {
+		cfg.MaxThreads = producers + consumers + 1
+	}
+	q, err := queues.New(name, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	closer, ok := q.(queueapi.Closer)
+	if !ok {
+		return 0, 0, fmt.Errorf("harness: %s is not a blocking queue (no Close)", name)
+	}
+
+	perProducer := opts.Ops / (2 * producers)
+	if perProducer == 0 {
+		perProducer = 1
+	}
+
+	var prod, cons sync.WaitGroup
+	var barrier sync.WaitGroup
+	barrier.Add(1)
+	errs := make(chan error, producers+consumers)
+	for p := 0; p < producers; p++ {
+		w, herr := queueapi.WaitableHandle(q)
+		if herr != nil {
+			return 0, 0, herr
+		}
+		prod.Add(1)
+		go func(seed uint64, w queueapi.Waitable) {
+			defer prod.Done()
+			barrier.Wait()
+			rng := seed*2654435761 + 1
+			for i := 0; i < perProducer; i++ {
+				rng = xorshift(rng)
+				if serr := w.Send(rng); serr != nil {
+					errs <- serr
+					return
+				}
+			}
+		}(uint64(p)+1, w)
+	}
+	for c := 0; c < consumers; c++ {
+		w, herr := queueapi.WaitableHandle(q)
+		if herr != nil {
+			return 0, 0, herr
+		}
+		cons.Add(1)
+		go func(w queueapi.Waitable) {
+			defer cons.Done()
+			barrier.Wait()
+			for {
+				if _, rerr := w.Recv(); rerr != nil {
+					if !errors.Is(rerr, queueapi.ErrClosed) {
+						errs <- rerr
+					}
+					return
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	barrier.Done()
+	prod.Wait()
+	if cerr := closer.Close(); cerr != nil {
+		return 0, 0, cerr
+	}
+	cons.Wait()
+	elapsed := time.Since(start).Seconds()
+	select {
+	case werr := <-errs:
+		return 0, 0, werr
+	default:
+	}
+	return stats.Mops(2*producers*perProducer, elapsed), 0, nil
+}
+
+// WakeupLatency measures the blocking facade's parked-wakeup latency:
+// a consumer blocks on Recv, the producer gives it time to park, then
+// timestamps the moment of Send inside the payload itself; the sample
+// is the delay until Recv returns with that payload. This is the
+// latency cost of parking instead of spin-polling (figure b1's
+// companion metric).
+func WakeupLatency(name string, cfg queues.Config, samples int) (stats.Summary, error) {
+	if cfg.MaxThreads < 3 {
+		cfg.MaxThreads = 3
+	}
+	q, err := queues.New(name, cfg)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	closer, ok := q.(queueapi.Closer)
+	if !ok {
+		return stats.Summary{}, fmt.Errorf("harness: %s is not a blocking queue", name)
+	}
+	sender, err := queueapi.WaitableHandle(q)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	receiver, err := queueapi.WaitableHandle(q)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+
+	micros := make(chan float64, samples)
+	done := make(chan error, 1)
+	go func() {
+		for {
+			v, rerr := receiver.Recv()
+			if rerr != nil {
+				if errors.Is(rerr, queueapi.ErrClosed) {
+					rerr = nil
+				}
+				done <- rerr
+				return
+			}
+			// The payload is the send timestamp (UnixNano).
+			micros <- float64(time.Now().UnixNano()-int64(v)) / 1e3
+		}
+	}()
+	for i := 0; i < samples; i++ {
+		// Give the consumer time to finish the previous sample and
+		// park again; the measurement only needs Send to happen while
+		// the consumer is (usually) parked, and parking is ~µs.
+		time.Sleep(200 * time.Microsecond)
+		if serr := sender.Send(uint64(time.Now().UnixNano())); serr != nil {
+			return stats.Summary{}, serr
+		}
+	}
+	lats := make([]float64, 0, samples)
+	for len(lats) < samples {
+		lats = append(lats, <-micros)
+	}
+	if cerr := closer.Close(); cerr != nil {
+		return stats.Summary{}, cerr
+	}
+	if werr := <-done; werr != nil {
+		return stats.Summary{}, werr
+	}
+	return stats.Summarize(lats), nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/queues"
+	"repro/internal/wcq"
 )
 
 // Figure describes one plot of the paper's evaluation (§6) and how to
@@ -20,6 +21,7 @@ type Figure struct {
 	Queues   []string
 	Delays   bool // tiny random delays (memory test)
 	Memory   bool // report MB instead of Mops
+	Blocking bool // drive the blocking Send/Recv/Close surface (Chan facades)
 }
 
 // Thread sweeps from the paper: x86 peaks at one 18-core socket then
@@ -33,10 +35,15 @@ var (
 // CAS2), exactly as the paper does for PowerPC. scaleQueues is the
 // post-paper scale-out line-up: the single-ring queues against their
 // sharded composition, with FAA as the throughput ceiling.
+// blockingQueues is the figure b1 line-up: the Chan facade over each
+// supported backend. blockingThreads starts at 2 so every point has
+// at least one producer and one consumer.
 var (
-	x86Queues   = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue", "LCRQ"}
-	ppcQueues   = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue"}
-	scaleQueues = []string{"FAA", "wCQ", "SCQ", "Sharded"}
+	x86Queues       = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue", "LCRQ"}
+	ppcQueues       = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue"}
+	scaleQueues     = []string{"FAA", "wCQ", "SCQ", "Sharded"}
+	blockingQueues  = []string{"Chan", "ChanSCQ", "ChanSharded"}
+	blockingThreads = []int{2, 4, 8, 18, 36, 72}
 )
 
 // Figures returns every figure of the evaluation in paper order.
@@ -65,6 +72,11 @@ func Figures() []Figure {
 			Mode: atomicx.NativeFAA, Queues: scaleQueues},
 		{ID: "s2", Title: "Sharded scale-out, 50%/50% (Mops/s)", Workload: Mixed, Threads: x86Threads,
 			Mode: atomicx.NativeFAA, Queues: scaleQueues},
+		// Blocking facade: throughput under a 1:3 producer:consumer
+		// imbalance where idle consumers park instead of spinning
+		// (cmd/wcqbench -blocking also reports wakeup latency).
+		{ID: "b1", Title: "Blocking Chan, imbalanced 1:3 send/recv (Mops/s)", Workload: Pairwise, Threads: blockingThreads,
+			Mode: atomicx.NativeFAA, Queues: blockingQueues, Blocking: true},
 	}
 }
 
@@ -86,8 +98,11 @@ type RunOpts struct {
 	Reps       int
 	MaxThreads int // truncate the sweep (0 = full paper sweep)
 	Queues     []string
-	Shards     int // shard count for the Sharded queue (0 = default)
-	Batch      int // batch size; > 1 drives the batched workload loop
+	Shards     int    // shard count for the Sharded queue (0 = default)
+	Batch      int    // batch size; > 1 drives the batched workload loop
+	Capacity   uint64 // ring capacity (0 = the paper's 2^16)
+	Emulate    bool   // force CAS-emulated F&A regardless of the figure's mode
+	WCQ        *wcq.Options
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -121,14 +136,22 @@ func (f Figure) Run(opts RunOpts) []Point {
 				MaxThreads: th + 1,
 				Mode:       f.Mode,
 				Shards:     opts.Shards,
+				WCQOptions: opts.WCQ,
+			}
+			if opts.Capacity > 0 {
+				cfg.Capacity = opts.Capacity
+			}
+			if opts.Emulate {
+				cfg.Mode = atomicx.EmulatedFAA
 			}
 			pts = append(pts, RunPoint(name, cfg, f.Workload, PointOpts{
-				Threads: th,
-				Ops:     opts.Ops,
-				Reps:    opts.Reps,
-				Delays:  f.Delays,
-				Memory:  f.Memory,
-				Batch:   opts.Batch,
+				Threads:  th,
+				Ops:      opts.Ops,
+				Reps:     opts.Reps,
+				Delays:   f.Delays,
+				Memory:   f.Memory,
+				Batch:    opts.Batch,
+				Blocking: f.Blocking,
 			}))
 		}
 	}

@@ -60,6 +60,12 @@ type PointOpts struct {
 	// queue has one, generic fallback otherwise). One batched call
 	// counts as Batch operations.
 	Batch int
+	// Blocking drives the point through the blocking Send/Recv/Close
+	// surface instead of the workload loop: Threads is split into
+	// producers and consumers by BlockingSplit, producers send,
+	// consumers drain until close. Requires a queue whose handles
+	// implement queueapi.Waitable. Delays/Memory/Batch are ignored.
+	Blocking bool
 }
 
 // Point is one (queue, thread-count) measurement.
@@ -95,6 +101,9 @@ func RunPoint(name string, cfg queues.Config, w Workload, opts PointOpts) Point 
 
 // runOnce builds a fresh queue and drives one timed run.
 func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops float64, memMB float64, err error) {
+	if opts.Blocking {
+		return runBlockingOnce(name, cfg, opts)
+	}
 	if cfg.MaxThreads < opts.Threads+1 {
 		cfg.MaxThreads = opts.Threads + 1
 	}

@@ -51,10 +51,10 @@ func TestLCRQUnavailableProducesErrPoint(t *testing.T) {
 
 func TestFiguresComplete(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 10 {
-		t.Fatalf("have %d figures, want 10 (10a-12c + s1,s2)", len(figs))
+	if len(figs) != 11 {
+		t.Fatalf("have %d figures, want 11 (10a-12c + s1,s2 + b1)", len(figs))
 	}
-	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2"}
+	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2", "b1"}
 	for i, f := range figs {
 		if f.ID != want[i] {
 			t.Fatalf("figure %d is %q, want %q", i, f.ID, want[i])
@@ -142,6 +142,70 @@ func TestScaleOutFigures(t *testing.T) {
 		if !found {
 			t.Fatalf("figure %s missing the Sharded queue", id)
 		}
+	}
+}
+
+func TestBlockingSplit(t *testing.T) {
+	for _, c := range []struct{ threads, p, c int }{
+		{1, 1, 1}, {2, 1, 1}, {4, 1, 3}, {8, 2, 6}, {72, 18, 54},
+	} {
+		p, cons := BlockingSplit(c.threads)
+		if p != c.p || cons != c.c {
+			t.Fatalf("BlockingSplit(%d) = (%d, %d), want (%d, %d)", c.threads, p, cons, c.p, c.c)
+		}
+	}
+}
+
+func TestBlockingFigure(t *testing.T) {
+	f, err := FigureByID("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Blocking {
+		t.Fatal("figure b1 not marked blocking")
+	}
+	opts := RunOpts{Ops: 4000, Reps: 1, MaxThreads: 2}
+	pts := f.Run(opts)
+	if len(pts) != len(f.Queues) {
+		t.Fatalf("got %d points, want %d", len(pts), len(f.Queues))
+	}
+	for _, pt := range pts {
+		if pt.Err != nil {
+			t.Fatalf("%s: %v", pt.Queue, pt.Err)
+		}
+		if pt.Mops.Mean <= 0 {
+			t.Fatalf("%s: no throughput measured", pt.Queue)
+		}
+	}
+}
+
+func TestBlockingPointRejectsNonBlockingQueue(t *testing.T) {
+	pt := RunPoint("wCQ", queues.Config{Capacity: 256}, Pairwise, PointOpts{
+		Threads: 2, Ops: 100, Reps: 1, Blocking: true,
+	})
+	if pt.Err == nil {
+		t.Fatal("blocking point over a nonblocking queue did not error")
+	}
+}
+
+func TestWakeupLatency(t *testing.T) {
+	for _, name := range queues.BlockingQueues() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sum, err := WakeupLatency(name, queues.Config{Capacity: 256}, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.N != 8 || sum.Mean <= 0 {
+				t.Fatalf("latency summary %+v", sum)
+			}
+		})
+	}
+}
+
+func TestWakeupLatencyRejectsNonBlockingQueue(t *testing.T) {
+	if _, err := WakeupLatency("wCQ", queues.Config{Capacity: 256}, 2); err == nil {
+		t.Fatal("WakeupLatency over a nonblocking queue did not error")
 	}
 }
 

@@ -7,16 +7,21 @@
 //
 // Porting note (no DWCAS in Go): CRQ updates each cell's
 // (index, value) pair with CAS2. Here a cell is a single 64-bit word
-// {safe:1 | occupied:1 | ticket:62} plus a side value array indexed by
-// the cell position. An enqueuer writes the value BEFORE publishing
-// the word (release), and a cell cannot be re-claimed by another
-// enqueuer until a dequeuer transitions the word again, so the value
-// slot is data-race free — single-word CAS covers the pair, as in our
-// wCQ port. The paper itself presents LCRQ as x86-only (true CAS2);
-// the emulated-F&A (PowerPC) figures omit LCRQ for the same reason.
+// {safe:1 | occupied:1 | pending:1 | ticket:61} plus a side value
+// array indexed by the cell position. An enqueuer first claims the
+// cell with the PENDING bit set, then writes the value, then clears
+// PENDING; a dequeuer holding the cell's ticket waits out PENDING
+// before reading the value. Writing the value before the claim — the
+// obvious ordering — is unsound: an enqueuer whose claim CAS is about
+// to fail may have its value store land after the winner's, so the
+// winner's cell would yield the loser's value (duplicating it, since
+// the loser retries elsewhere) and lose the winner's. The paper
+// itself presents LCRQ as x86-only (true CAS2); the emulated-F&A
+// (PowerPC) figures omit LCRQ for the same reason.
 package lcrq
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/pad"
@@ -35,8 +40,11 @@ const starvationBound = 1 << 10
 const (
 	cellSafeBit = uint64(1) << 63
 	cellOccBit  = uint64(1) << 62
-	ticketMask  = cellOccBit - 1
-	closedBit   = uint64(1) << 63 // on the ring's Tail counter
+	// cellPendingBit marks a claimed cell whose value is not yet
+	// written (see the porting note above).
+	cellPendingBit = uint64(1) << 61
+	ticketMask     = cellPendingBit - 1
+	closedBit      = uint64(1) << 63 // on the ring's Tail counter
 )
 
 // crq is one closable ring.
@@ -87,9 +95,12 @@ func (c *crq) enqueue(v uint64) bool {
 		ticket := w & ticketMask
 		if w&cellOccBit == 0 && ticket <= t &&
 			(w&cellSafeBit != 0 || c.head.Load() <= t) {
-			// Publish value first, then claim the cell.
-			c.vals[pos].Store(v)
-			if cell.CompareAndSwap(w, cellSafeBit|cellOccBit|t) {
+			// Claim the cell first (PENDING), then publish the value.
+			// Only the claim winner may touch vals[pos], so a loser
+			// can never overwrite the winner's value.
+			if cell.CompareAndSwap(w, cellSafeBit|cellOccBit|cellPendingBit|t) {
+				c.vals[pos].Store(v)
+				c.cells[pos].And(^cellPendingBit)
 				return true
 			}
 		}
@@ -121,6 +132,13 @@ func (c *crq) dequeue() (uint64, bool) {
 					break
 				}
 				if ticket == h {
+					if w&cellPendingBit != 0 {
+						// Claimed but the value is not written yet; the
+						// claimant publishes it in a bounded number of
+						// its own steps.
+						runtime.Gosched()
+						continue
+					}
 					// Our value: read it, then release the cell for
 					// ticket h+size.
 					v := c.vals[pos].Load()

@@ -1,0 +1,154 @@
+// Package park provides a futex-style parking lot for goroutines
+// waiting on a condition over a nonblocking queue ("not empty", "not
+// full"). It is the sleep/wake half of the blocking Chan facade: the
+// wait-free rings stay untouched, and blocking callers park here
+// instead of spin-polling.
+//
+// The protocol mirrors a futex wait/wake pair and has no lost
+// wakeups:
+//
+//	waiter:  w := p.Prepare()          waker:  make condition true
+//	         re-check condition                p.Wake(1)
+//	         (satisfied? p.Abort(w))
+//	         <-w.Ready(); p.Finish(w)
+//
+// If the waker's Wake observes no registered waiters (one atomic
+// load — the only cost wakers pay when nobody sleeps), the waiter's
+// Prepare had not happened yet, so its re-check is ordered after the
+// waker's condition write and observes it. Otherwise the waiter is
+// registered and Wake delivers a token. Waiters must always re-check
+// the condition after waking: wakes can be spurious (forwarded from
+// an aborted waiter), never missing.
+package park
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Waiter is one goroutine's registration at a Point. It is created by
+// Point.Prepare and must be retired by exactly one of Point.Abort
+// (wake not consumed from Ready) or Point.Finish (wake consumed).
+type Waiter struct {
+	ch     chan struct{}
+	next   *Waiter
+	prev   *Waiter
+	queued bool // still on the Point's list; guarded by Point.mu
+}
+
+// Ready returns the channel a wake token is delivered on. It becomes
+// readable exactly once per registration; select on it against a
+// context or timer.
+func (w *Waiter) Ready() <-chan struct{} { return w.ch }
+
+// waiterPool recycles Waiters (and their one-slot channels) so a
+// steady park/unpark workload does not allocate.
+var waiterPool = sync.Pool{New: func() any { return &Waiter{ch: make(chan struct{}, 1)} }}
+
+// Point is one parkable condition. The zero value is ready to use.
+// Wakers that find no one sleeping pay a single atomic load.
+type Point struct {
+	waiters atomic.Int32 // registered-and-not-yet-woken count (fast-path gate)
+	mu      sync.Mutex
+	head    *Waiter // FIFO: head is woken first
+	tail    *Waiter
+}
+
+// Prepare registers the calling goroutine as a waiter. The caller
+// MUST re-check its condition after Prepare returns and Abort if it
+// is already satisfied; only then may it block on Ready.
+func (p *Point) Prepare() *Waiter {
+	w := waiterPool.Get().(*Waiter)
+	w.queued = true
+	p.mu.Lock()
+	if p.tail == nil {
+		p.head, p.tail = w, w
+	} else {
+		w.prev = p.tail
+		p.tail.next = w
+		p.tail = w
+	}
+	p.waiters.Add(1)
+	p.mu.Unlock()
+	return w
+}
+
+// unlink removes w from the list. Caller holds p.mu and w.queued.
+func (p *Point) unlink(w *Waiter) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		p.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		p.tail = w.prev
+	}
+	w.next, w.prev = nil, nil
+	w.queued = false
+	p.waiters.Add(-1)
+}
+
+// Wake delivers a token to up to n waiters in FIFO order. When no one
+// is registered it is a single atomic load.
+func (p *Point) Wake(n int) {
+	if n <= 0 || p.waiters.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	for ; n > 0 && p.head != nil; n-- {
+		w := p.head
+		p.unlink(w)
+		w.ch <- struct{}{} // one-slot buffer, at most one token per registration: never blocks
+	}
+	p.mu.Unlock()
+}
+
+// WakeAll wakes every registered waiter (used on close).
+func (p *Point) WakeAll() {
+	if p.waiters.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	for p.head != nil {
+		w := p.head
+		p.unlink(w)
+		w.ch <- struct{}{}
+	}
+	p.mu.Unlock()
+}
+
+// Abort retires a registration without consuming from Ready. If the
+// waiter had already been woken, the token is drained and the wake is
+// forwarded to the next waiter, so a waker's signal is never lost to
+// a caller that stopped waiting (context expiry, condition satisfied
+// during the re-check).
+func (p *Point) Abort(w *Waiter) {
+	p.mu.Lock()
+	if w.queued {
+		p.unlink(w)
+		p.mu.Unlock()
+		p.recycle(w)
+		return
+	}
+	p.mu.Unlock()
+	// Already woken: the token was buffered under the lock, so this
+	// never blocks. Pass the signal on.
+	<-w.ch
+	p.recycle(w)
+	p.Wake(1)
+}
+
+// Finish retires a registration whose token was consumed from Ready.
+func (p *Point) Finish(w *Waiter) { p.recycle(w) }
+
+// Waiters reports how many goroutines are currently registered
+// (woken-but-not-yet-retired waiters do not count). For tests and
+// introspection; racy by nature.
+func (p *Point) Waiters() int { return int(p.waiters.Load()) }
+
+func (p *Point) recycle(w *Waiter) {
+	w.next, w.prev, w.queued = nil, nil, false
+	waiterPool.Put(w)
+}

@@ -1,0 +1,181 @@
+package park
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWakeWithNoWaitersIsNoop(t *testing.T) {
+	var p Point
+	p.Wake(1)
+	p.WakeAll()
+	if p.Waiters() != 0 {
+		t.Fatalf("waiters = %d", p.Waiters())
+	}
+}
+
+func TestPrepareWakeFinish(t *testing.T) {
+	var p Point
+	w := p.Prepare()
+	if p.Waiters() != 1 {
+		t.Fatalf("waiters = %d after Prepare", p.Waiters())
+	}
+	p.Wake(1)
+	select {
+	case <-w.Ready():
+	case <-time.After(time.Second):
+		t.Fatal("wake not delivered")
+	}
+	p.Finish(w)
+	if p.Waiters() != 0 {
+		t.Fatalf("waiters = %d after wake", p.Waiters())
+	}
+}
+
+func TestAbortBeforeWake(t *testing.T) {
+	var p Point
+	w := p.Prepare()
+	p.Abort(w)
+	if p.Waiters() != 0 {
+		t.Fatalf("waiters = %d after abort", p.Waiters())
+	}
+	p.Wake(1) // must not deliver to the aborted (recycled) waiter
+}
+
+func TestAbortForwardsConsumedWake(t *testing.T) {
+	// w1 is woken but aborts (as a context-cancelled caller would);
+	// the wake must be forwarded to w2.
+	var p Point
+	w1 := p.Prepare()
+	w2 := p.Prepare()
+	p.Wake(1) // targets w1 (FIFO)
+	p.Abort(w1)
+	select {
+	case <-w2.Ready():
+	case <-time.After(time.Second):
+		t.Fatal("wake lost: not forwarded after abort")
+	}
+	p.Finish(w2)
+}
+
+func TestWakeN(t *testing.T) {
+	var p Point
+	ws := make([]*Waiter, 5)
+	for i := range ws {
+		ws[i] = p.Prepare()
+	}
+	p.Wake(3)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-ws[i].Ready():
+			p.Finish(ws[i])
+		case <-time.After(time.Second):
+			t.Fatalf("waiter %d not woken by Wake(3)", i)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		select {
+		case <-ws[i].Ready():
+			t.Fatalf("waiter %d woken beyond Wake(3)", i)
+		default:
+		}
+	}
+	p.WakeAll()
+	for i := 3; i < 5; i++ {
+		<-ws[i].Ready()
+		p.Finish(ws[i])
+	}
+	if p.Waiters() != 0 {
+		t.Fatalf("waiters = %d at end", p.Waiters())
+	}
+}
+
+func TestFIFOWakeOrder(t *testing.T) {
+	var p Point
+	a, b := p.Prepare(), p.Prepare()
+	p.Wake(1)
+	select {
+	case <-b.Ready():
+		t.Fatal("second waiter woken before first")
+	case <-a.Ready():
+	case <-time.After(time.Second):
+		t.Fatal("no wake")
+	}
+	p.Finish(a)
+	p.Wake(1)
+	<-b.Ready()
+	p.Finish(b)
+}
+
+// TestNoLostWakeupProtocol hammers the register/re-check/wake protocol
+// from many goroutines: a shared counter is the condition, every
+// increment is followed by Wake(1), and consumers park whenever the
+// re-check fails. Every increment must eventually be consumed.
+func TestNoLostWakeupProtocol(t *testing.T) {
+	var p Point
+	var avail atomic.Int64
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 5000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < perProd; n++ {
+				avail.Add(1)
+				p.Wake(1)
+			}
+		}()
+	}
+	total := int64(producers * perProd)
+	var consumed atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Try to take one unit.
+				for {
+					cur := avail.Load()
+					if cur <= 0 {
+						break
+					}
+					if avail.CompareAndSwap(cur, cur-1) {
+						if consumed.Add(1) == total {
+							p.WakeAll() // release parked siblings
+						}
+						break
+					}
+				}
+				if consumed.Load() >= total {
+					return
+				}
+				w := p.Prepare()
+				if avail.Load() > 0 || consumed.Load() >= total {
+					p.Abort(w)
+					continue
+				}
+				select {
+				case <-w.Ready():
+					p.Finish(w)
+				case <-ctx.Done():
+					p.Abort(w)
+					t.Error("lost wakeup: consumer timed out")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d of %d", consumed.Load(), total)
+	}
+}

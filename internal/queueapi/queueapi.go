@@ -8,6 +8,18 @@
 // (thread<<32 | sequence).
 package queueapi
 
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrClosed reports an operation against a closed queue: a send after
+// Close, or a receive once the queue is both closed and drained. It
+// is the sentinel shared by every blocking facade in the repository
+// (compare with errors.Is).
+var ErrClosed = errors.New("queueapi: queue closed")
+
 // Queue is a bounded or unbounded MPMC FIFO under test.
 type Queue interface {
 	// Handle returns a per-goroutine view of the queue. Queues with
@@ -32,6 +44,47 @@ type Handle interface {
 	Enqueue(v uint64) bool
 	// Dequeue removes the oldest value; false means empty.
 	Dequeue() (uint64, bool)
+}
+
+// Waitable is the optional blocking extension of Handle: Send and
+// Recv park the goroutine (no spin-polling) instead of reporting
+// full/empty, and the context variants honor cancellation and
+// deadlines. Send returns ErrClosed once the queue is closed; Recv
+// drains remaining values and then returns ErrClosed. The checker's
+// RunBlocking and the harness's blocking workloads drive queues
+// through this interface.
+type Waitable interface {
+	// Send blocks until v is enqueued or the queue closes.
+	Send(v uint64) error
+	// SendCtx is Send bounded by ctx; it returns ctx.Err() when the
+	// context expires first (v was not enqueued).
+	SendCtx(ctx context.Context, v uint64) error
+	// Recv blocks until a value arrives or the queue is closed and
+	// drained.
+	Recv() (uint64, error)
+	// RecvCtx is Recv bounded by ctx.
+	RecvCtx(ctx context.Context) (uint64, error)
+}
+
+// Closer is the optional graceful-shutdown extension of Queue. Close
+// is idempotent in effect; a second call returns ErrClosed.
+type Closer interface {
+	Close() error
+}
+
+// WaitableHandle returns a fresh handle of q asserted to the blocking
+// extension — the registration step every blocking driver (checker,
+// harness) needs before spawning a goroutine.
+func WaitableHandle(q Queue) (Waitable, error) {
+	h, err := q.Handle()
+	if err != nil {
+		return nil, err
+	}
+	w, ok := h.(Waitable)
+	if !ok {
+		return nil, fmt.Errorf("queueapi: %s handle is not blocking (no Send/Recv)", q.Name())
+	}
+	return w, nil
 }
 
 // Batcher is the optional batch extension of Handle. Queues that can

@@ -1,6 +1,10 @@
 package queueapi
 
-import "testing"
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
 
 // sliceHandle is a trivial bounded queue with no native Batcher — the
 // fallback path target.
@@ -124,5 +128,11 @@ func TestDequeueBatchEmptyOut(t *testing.T) {
 	}
 	if n := EnqueueBatch(h, nil); n != 0 {
 		t.Fatalf("nil in consumed %d", n)
+	}
+}
+
+func TestErrClosedIsMatchable(t *testing.T) {
+	if !errors.Is(fmt.Errorf("recv: %w", ErrClosed), ErrClosed) {
+		t.Fatal("wrapped ErrClosed not matched by errors.Is")
 	}
 }

@@ -5,9 +5,11 @@
 package queues
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	wfqueue "repro"
 	"repro/internal/atomicx"
 	"repro/internal/ccq"
 	"repro/internal/crturn"
@@ -66,15 +68,18 @@ func wcqOptions(cfg Config) *wcq.Options {
 }
 
 var registry = map[string]Builder{
-	"wCQ":     NewWCQ,
-	"SCQ":     NewSCQ,
-	"LCRQ":    NewLCRQ,
-	"YMC":     NewYMC,
-	"CRTurn":  NewCRTurn,
-	"CCQueue": NewCCQueue,
-	"MSQueue": NewMSQueue,
-	"FAA":     NewFAA,
-	"Sharded": NewShardedWCQ,
+	"wCQ":         NewWCQ,
+	"SCQ":         NewSCQ,
+	"LCRQ":        NewLCRQ,
+	"YMC":         NewYMC,
+	"CRTurn":      NewCRTurn,
+	"CCQueue":     NewCCQueue,
+	"MSQueue":     NewMSQueue,
+	"FAA":         NewFAA,
+	"Sharded":     NewShardedWCQ,
+	"Chan":        newChanBuilder("Chan", wfqueue.BackendWCQ),
+	"ChanSCQ":     newChanBuilder("ChanSCQ", wfqueue.BackendSCQ),
+	"ChanSharded": newChanBuilder("ChanSharded", wfqueue.BackendSharded),
 }
 
 // Names returns the registered queue names, sorted.
@@ -101,6 +106,13 @@ func New(name string, cfg Config) (queueapi.Queue, error) {
 // post-paper Sharded composition.
 func RealQueues() []string {
 	return []string{"wCQ", "SCQ", "LCRQ", "YMC", "CRTurn", "CCQueue", "MSQueue", "Sharded"}
+}
+
+// BlockingQueues lists the registered blocking (Chan) facades — the
+// queues whose handles implement queueapi.Waitable and that implement
+// queueapi.Closer, so blocking harnesses can close and drain them.
+func BlockingQueues() []string {
+	return []string{"Chan", "ChanSCQ", "ChanSharded"}
 }
 
 // --- wCQ ---
@@ -341,3 +353,72 @@ func (h *shardedHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
 // per value.
 func (h *shardedHandle) EnqueueBatch(vs []uint64) int  { return h.h.EnqueueBatch(vs) }
 func (h *shardedHandle) DequeueBatch(out []uint64) int { return h.h.DequeueBatch(out) }
+
+// --- Blocking Chan facades ---
+
+// chanQueue adapts the public wfqueue.Chan facade to queueapi. Its
+// handles keep the nonblocking Queue/Handle contract (Enqueue/Dequeue
+// map to TrySend/TryRecv) and add the queueapi.Waitable blocking
+// surface; the queue side adds queueapi.Closer. wfqueue.ErrClosed
+// aliases queueapi.ErrClosed, so blocking harnesses can match errors
+// across the boundary.
+type chanQueue struct {
+	c    *wfqueue.Chan[uint64]
+	name string
+}
+
+type chanHandle struct{ h *wfqueue.ChanHandle[uint64] }
+
+// newChanBuilder adapts NewChan over the given backend to the
+// registry's Builder shape, mapping Config onto the public options.
+func newChanBuilder(name string, backend wfqueue.Backend) Builder {
+	return func(cfg Config) (queueapi.Queue, error) {
+		cfg = cfg.withDefaults()
+		opts := []wfqueue.Option{wfqueue.WithBackend(backend)}
+		if cfg.Mode == atomicx.EmulatedFAA {
+			opts = append(opts, wfqueue.WithEmulatedFAA())
+		}
+		if cfg.Shards > 0 {
+			opts = append(opts, wfqueue.WithShards(cfg.Shards))
+		}
+		if o := cfg.WCQOptions; o != nil {
+			opts = append(opts,
+				wfqueue.WithPatience(o.EnqPatience, o.DeqPatience),
+				wfqueue.WithHelpDelay(o.HelpDelay))
+		}
+		c, err := wfqueue.NewChan[uint64](cfg.Capacity, cfg.MaxThreads, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &chanQueue{c: c, name: name}, nil
+	}
+}
+
+func (w *chanQueue) Handle() (queueapi.Handle, error) {
+	h, err := w.c.Handle()
+	if err != nil {
+		return nil, err
+	}
+	return &chanHandle{h: h}, nil
+}
+func (w *chanQueue) Cap() uint64       { return w.c.Cap() }
+func (w *chanQueue) Footprint() uint64 { return w.c.Footprint() }
+func (w *chanQueue) Name() string      { return w.name }
+func (w *chanQueue) Close() error      { return w.c.Close() }
+
+// Enqueue/Dequeue keep the nonblocking contract (a closed Chan reads
+// as full and, once drained, empty).
+func (h *chanHandle) Enqueue(v uint64) bool {
+	ok, _ := h.h.TrySend(v)
+	return ok
+}
+func (h *chanHandle) Dequeue() (uint64, bool) {
+	v, ok, _ := h.h.TryRecv()
+	return v, ok
+}
+
+// The queueapi.Waitable blocking surface.
+func (h *chanHandle) Send(v uint64) error                         { return h.h.Send(v) }
+func (h *chanHandle) SendCtx(ctx context.Context, v uint64) error { return h.h.SendCtx(ctx, v) }
+func (h *chanHandle) Recv() (uint64, error)                       { return h.h.Recv() }
+func (h *chanHandle) RecvCtx(ctx context.Context) (uint64, error) { return h.h.RecvCtx(ctx) }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/checker"
 	"repro/internal/queueapi"
+	"repro/internal/wcq"
 )
 
 func testCfg() Config {
@@ -16,7 +17,7 @@ func testCfg() Config {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(Names()) != 9 {
+	if len(Names()) != 12 {
 		t.Fatalf("registry has %d entries: %v", len(Names()), Names())
 	}
 	if _, err := New("nope", testCfg()); err == nil {
@@ -30,6 +31,65 @@ func TestRegistry(t *testing.T) {
 		if q.Name() != n {
 			t.Fatalf("built %q, asked for %q", q.Name(), n)
 		}
+	}
+}
+
+// TestBlockingConformance runs the Chan facades through the checker
+// suite via the queueapi.Waitable adapter: the nonblocking checker
+// (TrySend/TryRecv keep the Queue contract) and the blocking checker
+// (parked Send/Recv with a graceful Close and full drain).
+func TestBlockingConformance(t *testing.T) {
+	for _, name := range BlockingQueues() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := q.(queueapi.Closer); !ok {
+				t.Fatalf("%s does not implement queueapi.Closer", name)
+			}
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := h.(queueapi.Waitable); !ok {
+				t.Fatalf("%s handle does not implement queueapi.Waitable", name)
+			}
+			err = checker.Run(q, checker.Config{
+				Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 256,
+			})
+			if err != nil {
+				t.Fatalf("nonblocking checker: %v", err)
+			}
+			q2, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = checker.RunBlocking(q2, checker.Config{
+				Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 256,
+			})
+			if err != nil {
+				t.Fatalf("blocking checker: %v", err)
+			}
+		})
+	}
+}
+
+func TestBlockingSlowpathConformance(t *testing.T) {
+	// The wCQ-backed Chan with patience 1 + eager helping: parked
+	// blocking ops layered over the helped slow paths.
+	cfg := testCfg()
+	cfg.WCQOptions = &wcq.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	q, err := New("Chan", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = checker.RunBlocking(q, checker.Config{
+		Producers: 2, Consumers: 2, PerProducer: 2000, Capacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

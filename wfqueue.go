@@ -51,6 +51,7 @@ type options struct {
 	deqPatience int
 	helpDelay   int
 	shards      int
+	backend     Backend
 }
 
 // WithEmulatedFAA makes every fetch-and-add a CAS loop, modelling
@@ -240,6 +241,10 @@ func (q *LockFreeQueue[T]) Dequeue() (T, bool) { return q.q.Dequeue() }
 
 // Cap returns the queue capacity.
 func (q *LockFreeQueue[T]) Cap() uint64 { return q.q.Cap() }
+
+// Footprint returns the bytes allocated at construction; the queue
+// never allocates afterwards.
+func (q *LockFreeQueue[T]) Footprint() uint64 { return q.q.Footprint() }
 
 // ShardedQueue composes several independent wCQ rings into one queue
 // that spreads the single head/tail hot word across shards: each
