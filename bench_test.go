@@ -221,7 +221,7 @@ func BenchmarkRingIndexPool(b *testing.B) {
 }
 
 // BenchmarkAblationPatience quantifies the fast-path/slow-path split
-// (DESIGN.md ablation): patience 1 forces the helped slow path often;
+// (slow-path ablation): patience 1 forces the helped slow path often;
 // the default 16/64 keeps it rare.
 func BenchmarkAblationPatience(b *testing.B) {
 	for _, pat := range []struct {

@@ -27,6 +27,12 @@ const (
 	// BackendSharded buffers on the sharded wCQ composition (see
 	// NewSharded); tune the shard count with WithShards.
 	BackendSharded
+	// BackendUnbounded buffers on the unbounded linked-ring queue (see
+	// NewUnbounded): Send never blocks on capacity — only Recv parks —
+	// and NewChan's capacity parameter becomes the linked rings' size
+	// (the retained-memory granularity), not a bound. Tune the ring
+	// kind with WithRingKind.
+	BackendUnbounded
 )
 
 // String names the backend as the queue registry does.
@@ -38,6 +44,8 @@ func (b Backend) String() string {
 		return "SCQ"
 	case BackendSharded:
 		return "Sharded"
+	case BackendUnbounded:
+		return "Unbounded"
 	}
 	return "?"
 }
@@ -81,6 +89,26 @@ func (c shardedChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q.
 func (c shardedChanCore[T]) capacity() uint64                      { return c.q.Cap() }
 func (c shardedChanCore[T]) footprint() uint64                     { return c.q.Footprint() }
 
+type unboundedChanCore[T any] struct{ q *UnboundedQueue[T] }
+
+func (c unboundedChanCore[T]) newHandle() (chanCoreHandle[T], error) {
+	h, err := c.q.Handle()
+	if err != nil {
+		return nil, err
+	}
+	return unboundedChanHandle[T]{h}, nil
+}
+func (c unboundedChanCore[T]) capacity() uint64  { return 0 }
+func (c unboundedChanCore[T]) footprint() uint64 { return c.q.Footprint() }
+
+// unboundedChanHandle adapts the never-full unbounded handle to the
+// bool-returning core contract: Enqueue always reports success, so
+// senders never park on notFull.
+type unboundedChanHandle[T any] struct{ h *UnboundedHandle[T] }
+
+func (h unboundedChanHandle[T]) Enqueue(v T) bool   { h.h.Enqueue(v); return true }
+func (h unboundedChanHandle[T]) Dequeue() (T, bool) { return h.h.Dequeue() }
+
 // Chan is a blocking, closable facade over one of the nonblocking
 // queues — the buffered-channel shape services want at the edge of a
 // system, layered on the wait-free cores without touching their hot
@@ -102,6 +130,10 @@ func (c shardedChanCore[T]) footprint() uint64                     { return c.q.
 // a sender blocks when its handle's home shard (capacity/shards
 // values) fills, even if other shards have room. Receivers drain all
 // shards, so blocked senders still make progress.
+//
+// With BackendUnbounded there is no "full": Send always completes
+// without parking (the buffer grows in ring-sized steps instead), and
+// only Recv parks. The close contract is unchanged.
 type Chan[T any] struct {
 	core     chanCore[T]
 	notEmpty park.Point // receivers park here
@@ -132,6 +164,8 @@ type ChanHandle[T any] struct {
 // capacity values (a power of two >= 2) on the backend selected with
 // WithBackend (default BackendWCQ), operated by at most maxThreads
 // concurrent Handles (ignored by BackendSCQ, which has no census).
+// With BackendUnbounded the buffer has no bound — capacity instead
+// sets the linked rings' size — and Send never blocks.
 func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], error) {
 	_, o := buildOpts(opts)
 	var core chanCore[T]
@@ -154,6 +188,19 @@ func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], 
 			return nil, err
 		}
 		core = shardedChanCore[T]{q}
+	case BackendUnbounded:
+		// The capacity parameter becomes the linked rings' size: the
+		// buffer has no bound, so Send never parks. Validate it here —
+		// NewUnbounded would silently swap a zero for its default,
+		// hiding a misconfiguration every other backend rejects.
+		if err := validate(capacity, maxThreads); err != nil {
+			return nil, err
+		}
+		q, err := NewUnbounded[T](maxThreads, append(opts, WithRingCapacity(capacity))...)
+		if err != nil {
+			return nil, err
+		}
+		core = unboundedChanCore[T]{q}
 	default:
 		return nil, fmt.Errorf("wfqueue: unknown chan backend %d", o.backend)
 	}
@@ -181,12 +228,15 @@ func (c *Chan[T]) Handle() (*ChanHandle[T], error) {
 	return &ChanHandle[T]{c: c, h: h}, nil
 }
 
-// Cap returns the buffer capacity.
+// Cap returns the buffer capacity; 0 means unbounded
+// (BackendUnbounded).
 func (c *Chan[T]) Cap() uint64 { return c.core.capacity() }
 
-// Footprint returns the bytes the backing queue allocated at
-// construction; the buffer itself never allocates afterwards (parked
-// waiters draw from a shared pool).
+// Footprint returns the bytes the backing queue retains. For bounded
+// backends this is the construction-time allocation and never changes
+// (parked waiters draw from a shared pool); for BackendUnbounded it
+// is the live ring footprint, which grows with buffered values and
+// shrinks after a drain.
 func (c *Chan[T]) Footprint() uint64 { return c.core.footprint() }
 
 // Closed reports whether Close has been called.

@@ -9,7 +9,9 @@ import (
 	"time"
 )
 
-func backends() []Backend { return []Backend{BackendWCQ, BackendSCQ, BackendSharded} }
+func backends() []Backend {
+	return []Backend{BackendWCQ, BackendSCQ, BackendSharded, BackendUnbounded}
+}
 
 func TestChanBasicsAllBackends(t *testing.T) {
 	for _, b := range backends() {
@@ -19,8 +21,12 @@ func TestChanBasicsAllBackends(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if c.Cap() != 16 {
-				t.Fatalf("Cap() = %d", c.Cap())
+			wantCap := uint64(16)
+			if b == BackendUnbounded {
+				wantCap = 0 // no bound; 16 became the ring size
+			}
+			if c.Cap() != wantCap {
+				t.Fatalf("Cap() = %d, want %d", c.Cap(), wantCap)
 			}
 			h, err := c.Handle()
 			if err != nil {
@@ -388,7 +394,7 @@ func TestChanSCQBackendHasNoCensus(t *testing.T) {
 }
 
 func TestChanBackendString(t *testing.T) {
-	for b, want := range map[Backend]string{BackendWCQ: "wCQ", BackendSCQ: "SCQ", BackendSharded: "Sharded", Backend(99): "?"} {
+	for b, want := range map[Backend]string{BackendWCQ: "wCQ", BackendSCQ: "SCQ", BackendSharded: "Sharded", BackendUnbounded: "Unbounded", Backend(99): "?"} {
 		if got := b.String(); got != want {
 			t.Fatalf("Backend(%d).String() = %q, want %q", b, got, want)
 		}
@@ -426,4 +432,12 @@ func ExampleChan() {
 	// Output:
 	// hello
 	// world
+}
+
+func TestChanUnboundedRejectsZeroCapacity(t *testing.T) {
+	// Every backend enforces the capacity contract; the unbounded one
+	// must not silently substitute its default ring size for a zero.
+	if _, err := NewChan[int](0, 2, WithBackend(BackendUnbounded)); err == nil {
+		t.Fatal("capacity 0 accepted by the unbounded backend")
+	}
 }

@@ -11,6 +11,7 @@
 //	wcqbench -figure s1 -shards 8        # sharded scale-out sweep
 //	wcqbench -figure s2 -batch 32        # batched 50/50 workload
 //	wcqbench -blocking                   # blocking figures + wakeup latency
+//	wcqbench -figure u1                  # unbounded burst/drain + peak footprint
 //	wcqbench -figure all -json BENCH_queue.json
 //
 // Absolute numbers depend on the host; the reproduction target is the
@@ -49,6 +50,7 @@ type benchPoint struct {
 	Queue    string  `json:"queue"`
 	Threads  int     `json:"threads"`
 	Batch    int     `json:"batch,omitempty"`
+	Burst    int     `json:"burst,omitempty"`
 	MopsMin  float64 `json:"mops_min,omitempty"`
 	MopsMean float64 `json:"mops_mean,omitempty"`
 	MemoryMB float64 `json:"memory_mb,omitempty"`
@@ -57,7 +59,7 @@ type benchPoint struct {
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure id (10a..12c, s1, s2, b1) or 'all'")
+		figure   = flag.String("figure", "all", "figure id (10a..12c, s1, s2, b1, u1) or 'all'")
 		ops      = flag.Int("ops", 200_000, "operations per measurement point (paper: 10,000,000)")
 		reps     = flag.Int("reps", 3, "repetitions per point (paper: 10)")
 		maxThr   = flag.Int("maxthreads", 0, "truncate the thread sweep (0 = full paper sweep)")
@@ -125,10 +127,11 @@ func main() {
 		f.Render(os.Stdout, pts, opts)
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 		for _, pt := range pts {
-			bp := benchPoint{Figure: f.ID, Queue: pt.Queue, Threads: pt.Threads}
-			if !f.Blocking {
-				// The blocking workload ignores -batch; stamping it here
-				// would record a batched run that never happened.
+			bp := benchPoint{Figure: f.ID, Queue: pt.Queue, Threads: pt.Threads, Burst: pt.Burst}
+			if !f.Blocking && len(f.Bursts) == 0 {
+				// The blocking and burst workloads ignore -batch;
+				// stamping it here would record a batched run that
+				// never happened.
 				bp.Batch = shared.Batch
 			}
 			if pt.Err != nil {

@@ -6,8 +6,14 @@
 //	wcqstress -queue all -slowpath            # force wCQ's helped paths
 //	wcqstress -queue Sharded -shards 8        # sharded composition
 //	wcqstress -queue all -batch 32            # batched enqueue/dequeue rounds
+//	wcqstress -queue UWCQ -capacity 64        # unbounded: tiny rings, heavy
+//	                                          # turnover and pool recycling
 //	wcqstress -blocking                       # blocking Chan facades: parked
 //	                                          # Send/Recv + graceful close/drain
+//
+// "all" covers every real queue, including the unbounded LSCQ/UWCQ
+// (where -capacity sets the per-ring size, not a bound); -blocking
+// covers every Chan facade, including ChanUnbounded.
 package main
 
 import (
@@ -55,7 +61,7 @@ func main() {
 				// An unrunnable configuration is a SKIP, not a FAIL: the
 				// blocking checker needs the close/drain surface.
 				if _, ok := q.(queueapi.Closer); !ok {
-					fmt.Printf("%-12s SKIP (not a blocking queue; use Chan/ChanSCQ/ChanSharded with -blocking)\n", name)
+					fmt.Printf("%-12s SKIP (not a blocking queue; use one of %v with -blocking)\n", name, queues.BlockingQueues())
 					break
 				}
 			}

@@ -27,10 +27,13 @@ type Chan[T any] struct {
 	q *wfqueue.Queue[T]
 }
 
+// ChanHandle is one goroutine's capability to use a Chan.
 type ChanHandle[T any] struct {
 	h *wfqueue.Handle[T]
 }
 
+// NewChan builds a channel-shaped wrapper buffering up to `buffer`
+// values for at most maxGoroutines concurrent users.
 func NewChan[T any](buffer uint64, maxGoroutines int) (*Chan[T], error) {
 	q, err := wfqueue.New[T](buffer, maxGoroutines)
 	if err != nil {
@@ -39,6 +42,7 @@ func NewChan[T any](buffer uint64, maxGoroutines int) (*Chan[T], error) {
 	return &Chan[T]{q: q}, nil
 }
 
+// Handle registers the calling goroutine.
 func (c *Chan[T]) Handle() (*ChanHandle[T], error) {
 	h, err := c.q.Handle()
 	if err != nil {

@@ -32,6 +32,7 @@ const (
 	EmulatedFAA
 )
 
+// String names the mode as the figures do.
 func (m Mode) String() string {
 	if m == EmulatedFAA {
 		return "emulated-faa"

@@ -14,7 +14,8 @@ import (
 
 // Flags holds the queue-construction flag values common to the CLIs.
 type Flags struct {
-	// Capacity is the ring capacity for bounded queues.
+	// Capacity is the ring capacity: the total bound for bounded
+	// queues, the per-ring size for the unbounded LSCQ/UWCQ.
 	Capacity uint64
 	// Shards is the shard count for the Sharded queue and the sharded
 	// Chan facade (0 = the default 4).
@@ -36,7 +37,7 @@ type Flags struct {
 // so it is a parameter.
 func Register(fs *flag.FlagSet, defaultCapacity uint64) *Flags {
 	f := &Flags{}
-	fs.Uint64Var(&f.Capacity, "capacity", defaultCapacity, "ring capacity (bounded queues)")
+	fs.Uint64Var(&f.Capacity, "capacity", defaultCapacity, "ring capacity (total for bounded queues, per-ring for LSCQ/UWCQ)")
 	fs.IntVar(&f.Shards, "shards", 0, "shard count for the Sharded queue / sharded Chan (0 = default 4)")
 	fs.IntVar(&f.Batch, "batch", 0, "> 1: drive batched enqueue/dequeue with this batch size")
 	fs.BoolVar(&f.Emulate, "emulate", false, "CAS-emulated F&A (PowerPC mode)")

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/queueapi"
+	"repro/internal/queues"
+	"repro/internal/stats"
+)
+
+// BurstSplit derives the producer/consumer role split for the burst
+// workload: half the goroutines produce, half consume (minimum one of
+// each), since both phases run the full population.
+func BurstSplit(threads int) (producers, consumers int) {
+	producers = threads / 2
+	if producers < 1 {
+		producers = 1
+	}
+	consumers = threads - producers
+	if consumers < 1 {
+		consumers = 1
+	}
+	return producers, consumers
+}
+
+// runBurstOnce drives one burst/drain cycle against a fresh queue:
+// producers enqueue `burst` values as fast as they can (an unbounded
+// queue absorbs all of them; a bounded one would shed), the peak
+// Footprint is sampled at the top of the burst, and consumers then
+// drain the queue empty. Each transferred value counts as two
+// operations (enqueue + dequeue), keeping Mops comparable with the
+// pairwise workload. This is the figure u1 engine: it measures the
+// trade the unbounded queues make — absorb any burst, pay for it in
+// live ring memory — and how the ring pool caps the cost once the
+// burst drains.
+func runBurstOnce(name string, cfg queues.Config, burst int, opts PointOpts) (mops, memMB float64, err error) {
+	producers, consumers := BurstSplit(opts.Threads)
+	if cfg.MaxThreads < producers+consumers+1 {
+		cfg.MaxThreads = producers + consumers + 1
+	}
+	q, err := queues.New(name, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	perProducer := burst / producers
+	if perProducer == 0 {
+		perProducer = 1
+	}
+	total := perProducer * producers
+
+	var wg sync.WaitGroup
+	var barrier sync.WaitGroup
+	barrier.Add(1)
+	for p := 0; p < producers; p++ {
+		h, herr := q.Handle()
+		if herr != nil {
+			return 0, 0, herr
+		}
+		wg.Add(1)
+		go func(seed uint64, h queueapi.Handle) {
+			defer wg.Done()
+			barrier.Wait()
+			rng := seed*2654435761 + 1
+			for i := 0; i < perProducer; i++ {
+				rng = xorshift(rng)
+				for !h.Enqueue(rng) {
+					// Unbounded queues never take this branch; it keeps
+					// the workload honest for bounded comparators.
+					runtime.Gosched()
+				}
+			}
+		}(uint64(p)+1, h)
+	}
+	start := time.Now()
+	barrier.Done()
+	wg.Wait() // burst fully buffered
+
+	// The whole burst is live right now: this is the figure's memory
+	// axis — peak retained bytes as a function of burst size.
+	memMB = float64(q.Footprint()) / (1 << 20)
+
+	var dg sync.WaitGroup
+	var drained atomic.Int64
+	for c := 0; c < consumers; c++ {
+		h, herr := q.Handle()
+		if herr != nil {
+			return 0, 0, herr
+		}
+		dg.Add(1)
+		go func(h queueapi.Handle) {
+			defer dg.Done()
+			for drained.Load() < int64(total) {
+				if _, ok := h.Dequeue(); ok {
+					drained.Add(1)
+					continue
+				}
+				runtime.Gosched()
+			}
+		}(h)
+	}
+	dg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return stats.Mops(2*total, elapsed), memMB, nil
+}
+
+// FormatBurstPoints renders a burst figure's results: one row per
+// burst size, and per queue a throughput and a peak-memory column —
+// both axes of the absorb-vs-retain trade in one table.
+func FormatBurstPoints(pts []Point, bursts []int, queueNames []string) string {
+	byKey := map[string]Point{}
+	for _, p := range pts {
+		byKey[fmt.Sprintf("%s/%d", p.Queue, p.Burst)] = p
+	}
+	out := "burst"
+	for _, q := range queueNames {
+		out += fmt.Sprintf("\t%s Mops\t%s peakMB", q, q)
+	}
+	out += "\n"
+	for _, b := range bursts {
+		out += fmt.Sprintf("%d", b)
+		for _, q := range queueNames {
+			p, ok := byKey[fmt.Sprintf("%s/%d", q, b)]
+			if !ok || p.Err != nil {
+				out += "\tn/a\tn/a"
+				continue
+			}
+			out += fmt.Sprintf("\t%.3f\t%.3f", p.Mops.Mean, p.MemoryMB)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/queues"
+	"repro/internal/stats"
 	"repro/internal/wcq"
 )
 
@@ -22,6 +23,10 @@ type Figure struct {
 	Delays   bool // tiny random delays (memory test)
 	Memory   bool // report MB instead of Mops
 	Blocking bool // drive the blocking Send/Recv/Close surface (Chan facades)
+	// Bursts makes this a burst/drain figure (u1): the sweep axis is
+	// burst size at a fixed thread count (Threads[0]), and every point
+	// reports throughput AND peak live Footprint.
+	Bursts []int
 }
 
 // Thread sweeps from the paper: x86 peaks at one 18-core socket then
@@ -38,12 +43,18 @@ var (
 // blockingQueues is the figure b1 line-up: the Chan facade over each
 // supported backend. blockingThreads starts at 2 so every point has
 // at least one producer and one consumer.
+// burstSizes and burstRingCap shape figure u1: bursts from 4x to
+// 256x the ring capacity, so every point exercises real outer-list
+// turnover and the memory axis spans two orders of magnitude.
 var (
 	x86Queues       = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue", "LCRQ"}
 	ppcQueues       = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue"}
 	scaleQueues     = []string{"FAA", "wCQ", "SCQ", "Sharded"}
-	blockingQueues  = []string{"Chan", "ChanSCQ", "ChanSharded"}
+	blockingQueues  = []string{"Chan", "ChanSCQ", "ChanSharded", "ChanUnbounded"}
 	blockingThreads = []int{2, 4, 8, 18, 36, 72}
+	unboundedQueues = queues.UnboundedQueues() // keep the u1 line-up in lockstep with the registry
+	burstSizes      = []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	burstRingCap    = uint64(1 << 10)
 )
 
 // Figures returns every figure of the evaluation in paper order.
@@ -77,6 +88,11 @@ func Figures() []Figure {
 		// (cmd/wcqbench -blocking also reports wakeup latency).
 		{ID: "b1", Title: "Blocking Chan, imbalanced 1:3 send/recv (Mops/s)", Workload: Pairwise, Threads: blockingThreads,
 			Mode: atomicx.NativeFAA, Queues: blockingQueues, Blocking: true},
+		// Unbounded burst absorption: enqueue a burst, sample the peak
+		// live Footprint, drain. Sweeps burst size (not threads) and
+		// reports both throughput and peak memory per point.
+		{ID: "u1", Title: "Unbounded burst/drain: throughput and peak footprint vs burst size", Workload: Pairwise,
+			Threads: []int{4}, Mode: atomicx.NativeFAA, Queues: unboundedQueues, Bursts: burstSizes},
 	}
 }
 
@@ -125,6 +141,9 @@ func (f Figure) Run(opts RunOpts) []Point {
 	if len(opts.Queues) > 0 {
 		qs = intersect(f.Queues, opts.Queues)
 	}
+	if len(f.Bursts) > 0 {
+		return f.runBursts(opts, qs)
+	}
 	var pts []Point
 	for _, name := range qs {
 		for _, th := range f.Threads {
@@ -158,6 +177,61 @@ func (f Figure) Run(opts RunOpts) []Point {
 	return pts
 }
 
+// burstThreads is the fixed thread count a burst figure runs at:
+// Threads[0], clamped by -maxthreads. Run and Render share it so the
+// header never mislabels a truncated run.
+func (f Figure) burstThreads(opts RunOpts) int {
+	threads := f.Threads[0]
+	if opts.MaxThreads > 0 && threads > opts.MaxThreads {
+		threads = opts.MaxThreads
+	}
+	return threads
+}
+
+// runBursts executes a burst figure: the sweep axis is burst size at
+// a fixed thread count, and each point reports throughput plus the
+// peak live Footprint sampled at the top of the burst.
+func (f Figure) runBursts(opts RunOpts, qs []string) []Point {
+	threads := f.burstThreads(opts)
+	var pts []Point
+	for _, name := range qs {
+		for _, burst := range f.Bursts {
+			cfg := queues.Config{
+				Capacity:   burstRingCap, // per-ring for the unbounded line-up
+				MaxThreads: threads + 1,
+				Mode:       f.Mode,
+				Shards:     opts.Shards,
+				WCQOptions: opts.WCQ,
+			}
+			if opts.Capacity > 0 {
+				cfg.Capacity = opts.Capacity
+			}
+			if opts.Emulate {
+				cfg.Mode = atomicx.EmulatedFAA
+			}
+			pt := Point{Queue: name, Threads: threads, Burst: burst}
+			reps := opts.Reps
+			mops := make([]float64, 0, reps)
+			for rep := 0; rep < reps; rep++ {
+				m, mem, err := runBurstOnce(name, cfg, burst, PointOpts{Threads: threads})
+				if err != nil {
+					pt.Err = err
+					break
+				}
+				mops = append(mops, m)
+				if mem > pt.MemoryMB {
+					pt.MemoryMB = mem
+				}
+			}
+			if pt.Err == nil {
+				pt.Mops = stats.Summarize(mops)
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts
+}
+
 // Render writes the figure header and table to w.
 func (f Figure) Render(w io.Writer, pts []Point, opts RunOpts) {
 	opts = opts.withDefaults()
@@ -173,6 +247,11 @@ func (f Figure) Render(w io.Writer, pts []Point, opts RunOpts) {
 	qs := f.Queues
 	if len(opts.Queues) > 0 {
 		qs = intersect(f.Queues, opts.Queues)
+	}
+	if len(f.Bursts) > 0 {
+		fmt.Fprintf(w, "Figure %s: %s (%d threads, %s)\n", f.ID, f.Title, f.burstThreads(opts), f.Mode)
+		io.WriteString(w, FormatBurstPoints(pts, f.Bursts, qs))
+		return
 	}
 	fmt.Fprintf(w, "Figure %s: %s (%s workload, %s)\n", f.ID, f.Title, f.Workload, f.Mode)
 	io.WriteString(w, FormatPoints(pts, threads, qs, f.Memory))

@@ -4,7 +4,7 @@
 // measurement, and one runner per figure of the evaluation.
 //
 // Differences from the paper's testbed are confined to this package
-// and documented in DESIGN.md: goroutines instead of pinned pthreads,
+// and documented in ARCHITECTURE.md: goroutines instead of pinned pthreads,
 // runtime heap sampling + cumulative allocation accounting instead of
 // malloc probes, and an emulated-F&A mode standing in for PowerPC.
 package harness
@@ -36,6 +36,7 @@ const (
 	EmptyDeq
 )
 
+// String names the workload as the figure tables do.
 func (w Workload) String() string {
 	switch w {
 	case Pairwise:
@@ -68,10 +69,12 @@ type PointOpts struct {
 	Blocking bool
 }
 
-// Point is one (queue, thread-count) measurement.
+// Point is one (queue, thread-count) measurement. Burst figures key
+// points by (queue, burst size) instead, at a fixed thread count.
 type Point struct {
 	Queue    string
 	Threads  int
+	Burst    int // burst size (burst figures only; 0 otherwise)
 	Mops     stats.Summary
 	MemoryMB float64 // peak memory consumed (cumulative static + heap)
 	Err      error   // non-nil when the queue is unavailable (e.g. LCRQ under emulation)

@@ -51,10 +51,10 @@ func TestLCRQUnavailableProducesErrPoint(t *testing.T) {
 
 func TestFiguresComplete(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 11 {
-		t.Fatalf("have %d figures, want 11 (10a-12c + s1,s2 + b1)", len(figs))
+	if len(figs) != 12 {
+		t.Fatalf("have %d figures, want 12 (10a-12c + s1,s2 + b1 + u1)", len(figs))
 	}
-	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2", "b1"}
+	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2", "b1", "u1"}
 	for i, f := range figs {
 		if f.ID != want[i] {
 			t.Fatalf("figure %d is %q, want %q", i, f.ID, want[i])
@@ -141,6 +141,83 @@ func TestScaleOutFigures(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("figure %s missing the Sharded queue", id)
+		}
+	}
+}
+
+func TestBurstFigure(t *testing.T) {
+	f, err := FigureByID("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Bursts) == 0 {
+		t.Fatal("figure u1 has no burst sweep")
+	}
+	for _, name := range []string{"LSCQ", "UWCQ", "ChanUnbounded"} {
+		found := false
+		for _, q := range f.Queues {
+			if q == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("figure u1 missing %s", name)
+		}
+	}
+	// A scaled-down run: small bursts over small rings must still
+	// report positive throughput and a live memory axis.
+	cfg := queues.Config{Capacity: 64, MaxThreads: 8}
+	for _, name := range f.Queues {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mops, memMB, err := runBurstOnce(name, cfg, 2048, PointOpts{Threads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mops <= 0 {
+				t.Fatal("no throughput measured")
+			}
+			if memMB <= 0 {
+				t.Fatal("no peak footprint measured (unbounded Footprint must be live)")
+			}
+		})
+	}
+}
+
+func TestBurstFigureRunAndRender(t *testing.T) {
+	f, err := FigureByID("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Bursts = []int{256, 512} // scale the sweep down for CI
+	opts := RunOpts{Reps: 1, Queues: []string{"LSCQ"}, Capacity: 16}
+	pts := f.Run(opts)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Err != nil {
+			t.Fatalf("%s/%d: %v", pt.Queue, pt.Burst, pt.Err)
+		}
+		if pt.Burst == 0 || pt.MemoryMB <= 0 {
+			t.Fatalf("burst point underfilled: %+v", pt)
+		}
+	}
+	var sb strings.Builder
+	f.Render(&sb, pts, opts)
+	out := sb.String()
+	if !strings.Contains(out, "Figure u1") || !strings.Contains(out, "peakMB") || !strings.Contains(out, "256") {
+		t.Fatalf("burst render malformed:\n%s", out)
+	}
+}
+
+func TestBurstSplit(t *testing.T) {
+	for _, c := range []struct{ threads, p, c int }{
+		{1, 1, 1}, {2, 1, 1}, {4, 2, 2}, {7, 3, 4},
+	} {
+		p, cons := BurstSplit(c.threads)
+		if p != c.p || cons != c.c {
+			t.Fatalf("BurstSplit(%d) = (%d, %d), want (%d, %d)", c.threads, p, cons, c.p, c.c)
 		}
 	}
 }

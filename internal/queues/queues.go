@@ -1,7 +1,8 @@
 // Package queues adapts every queue implementation in this repository
 // to the common queueapi interface and provides a registry keyed by
 // the names used in the paper's figures (wCQ, SCQ, LCRQ, YMC, CRTurn,
-// CCQueue, MSQueue, FAA).
+// CCQueue, MSQueue, FAA) plus the post-paper compositions (Sharded,
+// the unbounded LSCQ/UWCQ, and the blocking Chan facades).
 package queues
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/queueapi"
 	"repro/internal/scq"
 	"repro/internal/sharded"
+	"repro/internal/unbounded"
 	"repro/internal/wcq"
 	"repro/internal/ymc"
 )
@@ -68,18 +70,21 @@ func wcqOptions(cfg Config) *wcq.Options {
 }
 
 var registry = map[string]Builder{
-	"wCQ":         NewWCQ,
-	"SCQ":         NewSCQ,
-	"LCRQ":        NewLCRQ,
-	"YMC":         NewYMC,
-	"CRTurn":      NewCRTurn,
-	"CCQueue":     NewCCQueue,
-	"MSQueue":     NewMSQueue,
-	"FAA":         NewFAA,
-	"Sharded":     NewShardedWCQ,
-	"Chan":        newChanBuilder("Chan", wfqueue.BackendWCQ),
-	"ChanSCQ":     newChanBuilder("ChanSCQ", wfqueue.BackendSCQ),
-	"ChanSharded": newChanBuilder("ChanSharded", wfqueue.BackendSharded),
+	"wCQ":           NewWCQ,
+	"SCQ":           NewSCQ,
+	"LCRQ":          NewLCRQ,
+	"YMC":           NewYMC,
+	"CRTurn":        NewCRTurn,
+	"CCQueue":       NewCCQueue,
+	"MSQueue":       NewMSQueue,
+	"FAA":           NewFAA,
+	"Sharded":       NewShardedWCQ,
+	"LSCQ":          NewLSCQ,
+	"UWCQ":          NewUWCQ,
+	"Chan":          newChanBuilder("Chan", wfqueue.BackendWCQ),
+	"ChanSCQ":       newChanBuilder("ChanSCQ", wfqueue.BackendSCQ),
+	"ChanSharded":   newChanBuilder("ChanSharded", wfqueue.BackendSharded),
+	"ChanUnbounded": newChanBuilder("ChanUnbounded", wfqueue.BackendUnbounded),
 }
 
 // Names returns the registered queue names, sorted.
@@ -103,16 +108,24 @@ func New(name string, cfg Config) (queueapi.Queue, error) {
 
 // RealQueues lists the names that are actual FIFO queues (excludes the
 // FAA pseudo-queue), in the paper's figure order, followed by the
-// post-paper Sharded composition.
+// post-paper compositions: Sharded, then the unbounded linked-ring
+// queues of Appendix A (LSCQ, UWCQ).
 func RealQueues() []string {
-	return []string{"wCQ", "SCQ", "LCRQ", "YMC", "CRTurn", "CCQueue", "MSQueue", "Sharded"}
+	return []string{"wCQ", "SCQ", "LCRQ", "YMC", "CRTurn", "CCQueue", "MSQueue", "Sharded", "LSCQ", "UWCQ"}
 }
 
 // BlockingQueues lists the registered blocking (Chan) facades — the
 // queues whose handles implement queueapi.Waitable and that implement
 // queueapi.Closer, so blocking harnesses can close and drain them.
 func BlockingQueues() []string {
-	return []string{"Chan", "ChanSCQ", "ChanSharded"}
+	return []string{"Chan", "ChanSCQ", "ChanSharded", "ChanUnbounded"}
+}
+
+// UnboundedQueues lists the queues with no capacity bound built from
+// linked bounded rings — the figure u1 line-up, whose Footprint is a
+// live signal rather than a constant.
+func UnboundedQueues() []string {
+	return []string{"LSCQ", "UWCQ", "ChanUnbounded"}
 }
 
 // --- wCQ ---
@@ -353,6 +366,74 @@ func (h *shardedHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
 // per value.
 func (h *shardedHandle) EnqueueBatch(vs []uint64) int  { return h.h.EnqueueBatch(vs) }
 func (h *shardedHandle) DequeueBatch(out []uint64) int { return h.h.DequeueBatch(out) }
+
+// --- Unbounded linked-ring queues (Appendix A) ---
+
+// unboundedQueue adapts the unbounded construction to queueapi. Cap
+// is 0 (unbounded) and Footprint is live: it tracks the linked rings
+// plus the recycling pool, so memory figures see bursts grow and
+// drain.
+type unboundedQueue struct {
+	q    *unbounded.Queue[uint64]
+	name string
+}
+
+type unboundedHandle struct{ h *unbounded.Handle[uint64] }
+
+// NewLSCQ builds the unbounded queue of lock-free SCQ rings (the
+// paper's LSCQ). cfg.Capacity is the per-ring capacity, not a bound.
+func NewLSCQ(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	q, err := unbounded.NewLSCQ[uint64](cfg.Capacity, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return &unboundedQueue{q: q, name: "LSCQ"}, nil
+}
+
+// NewUWCQ builds the unbounded queue of wait-free wCQ rings (Appendix
+// A). cfg.Capacity is the per-ring capacity; cfg.MaxThreads bounds
+// the handle census.
+func NewUWCQ(cfg Config) (queueapi.Queue, error) {
+	cfg = cfg.withDefaults()
+	q, err := unbounded.NewUWCQ[uint64](cfg.Capacity, cfg.MaxThreads, wcqOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &unboundedQueue{q: q, name: "UWCQ"}, nil
+}
+
+func (w *unboundedQueue) Handle() (queueapi.Handle, error) {
+	h, err := w.q.Handle()
+	if err != nil {
+		return nil, err
+	}
+	return &unboundedHandle{h: h}, nil
+}
+func (w *unboundedQueue) Cap() uint64       { return 0 }
+func (w *unboundedQueue) Footprint() uint64 { return w.q.Footprint() }
+func (w *unboundedQueue) Name() string      { return w.name }
+
+// Enqueue always succeeds (the queue grows). The internal error is
+// reserved for broken invariants the constructors rule out; panicking
+// surfaces such a break loudly instead of reading as a "full" queue
+// that checker/harness drivers would spin on forever.
+func (h *unboundedHandle) Enqueue(v uint64) bool {
+	if err := h.h.Enqueue(v); err != nil {
+		panic("queues: unbounded enqueue invariant broken: " + err.Error())
+	}
+	return true
+}
+
+// Dequeue reports empty only when the queue is genuinely empty; an
+// internal error panics for the same reason Enqueue's does.
+func (h *unboundedHandle) Dequeue() (uint64, bool) {
+	v, ok, err := h.h.Dequeue()
+	if err != nil {
+		panic("queues: unbounded dequeue invariant broken: " + err.Error())
+	}
+	return v, ok
+}
 
 // --- Blocking Chan facades ---
 

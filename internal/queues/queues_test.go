@@ -17,7 +17,7 @@ func testCfg() Config {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(Names()) != 12 {
+	if len(Names()) != 15 {
 		t.Fatalf("registry has %d entries: %v", len(Names()), Names())
 	}
 	if _, err := New("nope", testCfg()); err == nil {
@@ -90,6 +90,62 @@ func TestBlockingSlowpathConformance(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestUnboundedConformance pins the unbounded line-up's registry
+// contract: present in Names and RealQueues (LSCQ/UWCQ) or
+// BlockingQueues (ChanUnbounded), Cap 0, never-full Enqueue, and a
+// live Footprint that returns near rest after a burst drains.
+func TestUnboundedConformance(t *testing.T) {
+	real := map[string]bool{}
+	for _, n := range RealQueues() {
+		real[n] = true
+	}
+	blocking := map[string]bool{}
+	for _, n := range BlockingQueues() {
+		blocking[n] = true
+	}
+	for _, name := range UnboundedQueues() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if !real[name] && !blocking[name] {
+				t.Fatalf("%s in neither RealQueues nor BlockingQueues", name)
+			}
+			cfg := testCfg()
+			cfg.Capacity = 16 // per-ring: force turnover
+			q, err := New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Cap() != 0 {
+				t.Fatalf("Cap() = %d, want 0 (unbounded)", q.Cap())
+			}
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rest := q.Footprint()
+			if rest == 0 {
+				t.Fatal("zero footprint at rest (has at least one ring)")
+			}
+			for i := 0; i < 1000; i++ {
+				if !h.Enqueue(uint64(i)) {
+					t.Fatalf("unbounded queue reported full at %d", i)
+				}
+			}
+			if q.Footprint() <= rest {
+				t.Fatal("footprint did not grow across a buffered burst")
+			}
+			for i := 0; i < 1000; i++ {
+				if v, ok := h.Dequeue(); !ok || v != uint64(i) {
+					t.Fatalf("dequeue %d = (%d, %v)", i, v, ok)
+				}
+			}
+			if got := q.Footprint(); got > 8*rest {
+				t.Fatalf("retained %d B after drain (rest %d B): ring pool not bounding memory", got, rest)
+			}
+		})
 	}
 }
 

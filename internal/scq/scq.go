@@ -325,6 +325,13 @@ func (q *Queue[T]) Enqueue(v T) bool {
 // seal is visible. Dequeues drain the remaining elements normally.
 func (q *Queue[T]) Seal() { q.sealed.Store(true) }
 
+// Reset reopens a sealed queue for enqueues. It is only sound on a
+// queue that is Drained and reachable by no other goroutine (the
+// unbounded construction's ring recycling, where the retire handshake
+// guarantees exclusivity); the rings' monotonic cycle counters carry
+// on, so no other state needs rewinding.
+func (q *Queue[T]) Reset() { q.sealed.Store(false) }
+
 // Drained reports that no value can ever be produced by this queue
 // again: it is sealed, no enqueue is in flight, and every enqueue
 // ticket has been examined. The in-flight counter is incremented

@@ -57,6 +57,7 @@ const (
 	SCQ
 )
 
+// String names the backend as the queue registry does.
 func (b Backend) String() string {
 	if b == SCQ {
 		return "SCQ"

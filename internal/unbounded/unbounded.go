@@ -5,12 +5,23 @@
 // drained rings. Outer-list operations are rare, so throughput is
 // dominated by the ring operations, as the paper observes.
 //
+// To keep the paper's "bounded memory usage" story honest under churn,
+// drained rings are not abandoned to the garbage collector: a bounded
+// free-list (the ring pool) recycles them, so a steady
+// burst-and-drain workload reaches a fixed ring population instead of
+// allocating a fresh ring per turnover. Recycling a ring while a
+// straggler still holds a reference would be unsound, so each list
+// node carries a pin counter and a retired flag (see the comment on
+// node); a ring whose node is pinned at retirement is simply left to
+// the GC.
+//
 // Faithfulness note: the appendix links rings with the CRTurn wait-free
 // list so the WHOLE unbounded queue is wait-free. This port uses the
 // Michael & Scott-style outer list that LSCQ/LCRQ use (the paper's own
 // LSCQ formulation); the rings retain their wait-free/lock-free
-// progress, but outer-layer appends are lock-free. DESIGN.md records
-// the substitution.
+// progress and the list itself is lock-free, but ring turnover
+// briefly serializes on the recycling pool's mutex (once per ringCap
+// values). ARCHITECTURE.md records both substitutions.
 package unbounded
 
 import (
@@ -24,120 +35,195 @@ import (
 	"repro/internal/wcq"
 )
 
+// DefaultPoolRings is the default capacity of the sealed-ring
+// free-list: how many drained rings a queue retains for reuse before
+// handing surplus rings to the garbage collector.
+const DefaultPoolRings = 4
+
 // ringView is one goroutine's access to one ring generation.
-type ringView interface {
-	EnqueueSealed(v uint64) bool
-	Dequeue() (uint64, bool)
+type ringView[T any] interface {
+	EnqueueSealed(v T) bool
+	Dequeue() (T, bool)
 }
 
 // ringCtl is the per-ring control interface used by the outer list.
-type ringCtl interface {
+// Views obtained from a ringCtl stay valid across Seal/Reset cycles,
+// which is what lets handles cache one view per ring forever (a wCQ
+// ring's thread census is consumed once per handle, not once per
+// generation).
+type ringCtl[T any] interface {
 	Seal()
+	Reset()
 	Drained() bool
-	View() (ringView, error)
+	View() (ringView[T], error)
 	Footprint() uint64
 }
 
-type node struct {
-	r    ringCtl
-	next atomic.Pointer[node]
+// node is one link of the outer list. Nodes are never reused (only
+// their rings are), so the head/tail/next pointers cannot suffer ABA.
+//
+// pins and retired implement the reclamation handshake that makes
+// ring recycling safe: every operation pins the node before touching
+// its ring and re-checks retired afterwards, while the dequeuer that
+// advances head past the node stores retired BEFORE loading pins.
+// With Go's sequentially consistent atomics, either the straggler's
+// pin is visible to the retirer (the ring is left to the GC) or the
+// retirement is visible to the straggler (it backs off without
+// touching the ring). Only unpinned retired rings enter the pool, so
+// a recycled ring is reachable exclusively through its new node.
+type node[T any] struct {
+	r       ringCtl[T]
+	next    atomic.Pointer[node[T]]
+	pins    atomic.Int64
+	retired atomic.Bool
 }
 
-// Queue is an unbounded MPMC FIFO of uint64 values, linking bounded
-// rings of the configured kind.
-type Queue struct {
+// Queue is an unbounded MPMC FIFO of values of type T, linking bounded
+// rings of the configured kind. Enqueue never reports full: a sealed
+// or full tail ring is replaced by a fresh (pooled or newly allocated)
+// ring.
+type Queue[T any] struct {
 	_       pad.Line
-	head    atomic.Pointer[node]
+	head    atomic.Pointer[node[T]]
 	_       pad.Line
-	tail    atomic.Pointer[node]
+	tail    atomic.Pointer[node[T]]
 	_       pad.Line
-	mk      func() (ringCtl, error)
-	rings   atomic.Int64
-	ringCap uint64
+	mk      func() (ringCtl[T], error)
+	pool    ringPool[T]
+	allocd  atomic.Int64 // rings ever constructed
+	reused  atomic.Int64 // rings served from the pool
+	handles atomic.Int64
+	// maxHandles bounds Handle() calls (0 = unlimited). UWCQ sets it to
+	// the per-ring thread census so view registration can never fail.
+	maxHandles int
+	ringCap    uint64
 }
 
-// Handle is a goroutine's view. It lazily registers with each ring
-// generation it touches.
-type Handle struct {
-	q     *Queue
+// Handle is a goroutine's view of a Queue. It lazily obtains (and
+// caches, per ring) a view of each ring generation it touches. A
+// Handle must not be used by two goroutines concurrently.
+type Handle[T any] struct {
+	q     *Queue[T]
 	mu    sync.Mutex // protects views (a handle may be polled from tests)
-	views map[*node]ringView
+	views map[ringCtl[T]]ringView[T]
 }
 
-// NewLSCQ returns an unbounded queue of SCQ rings (the paper's LSCQ),
-// each holding ringCap values.
-func NewLSCQ(ringCap uint64, mode atomicx.Mode) (*Queue, error) {
-	return newQueue(ringCap, func() (ringCtl, error) {
-		q, err := scq.NewQueue[uint64](ringCap, mode)
+// NewLSCQ returns an unbounded queue of lock-free SCQ rings (the
+// paper's LSCQ), each holding ringCap values. It accepts any number of
+// handles (SCQ has no thread census).
+func NewLSCQ[T any](ringCap uint64, mode atomicx.Mode) (*Queue[T], error) {
+	return newQueue[T](ringCap, 0, func() (ringCtl[T], error) {
+		q, err := scq.NewQueue[T](ringCap, mode)
 		if err != nil {
 			return nil, err
 		}
-		return scqCtl{q}, nil
+		return scqCtl[T]{q}, nil
 	})
 }
 
 // NewUWCQ returns an unbounded queue of wait-free wCQ rings (Appendix
 // A), each holding ringCap values and supporting maxThreads handles.
-func NewUWCQ(ringCap uint64, maxThreads int, opts *wcq.Options) (*Queue, error) {
-	return newQueue(ringCap, func() (ringCtl, error) {
-		q, err := wcq.NewQueue[uint64](ringCap, maxThreads, opts)
+// Handle fails once maxThreads handles exist — the census is per ring,
+// and bounding handles up front is what makes every later ring
+// registration infallible.
+func NewUWCQ[T any](ringCap uint64, maxThreads int, opts *wcq.Options) (*Queue[T], error) {
+	if maxThreads < 1 {
+		return nil, fmt.Errorf("unbounded: maxThreads must be >= 1, got %d", maxThreads)
+	}
+	return newQueue[T](ringCap, maxThreads, func() (ringCtl[T], error) {
+		q, err := wcq.NewQueue[T](ringCap, maxThreads, opts)
 		if err != nil {
 			return nil, err
 		}
-		return wcqCtl{q}, nil
+		return wcqCtl[T]{q}, nil
 	})
 }
 
-func newQueue(ringCap uint64, mk func() (ringCtl, error)) (*Queue, error) {
-	q := &Queue{mk: mk, ringCap: ringCap}
+func newQueue[T any](ringCap uint64, maxHandles int, mk func() (ringCtl[T], error)) (*Queue[T], error) {
+	q := &Queue[T]{mk: mk, ringCap: ringCap, maxHandles: maxHandles}
+	q.pool.max = DefaultPoolRings
 	first, err := mk()
 	if err != nil {
 		return nil, err
 	}
-	n := &node{r: first}
+	n := &node[T]{r: first}
 	q.head.Store(n)
 	q.tail.Store(n)
-	q.rings.Store(1)
+	q.allocd.Store(1)
 	return q, nil
 }
 
-// Handle returns a per-goroutine view.
-func (q *Queue) Handle() (*Handle, error) {
-	return &Handle{q: q, views: make(map[*node]ringView)}, nil
+// SetPoolCap resizes the sealed-ring free-list (0 disables recycling).
+// Call it before the queue is shared between goroutines.
+func (q *Queue[T]) SetPoolCap(n int) { q.pool.max = n }
+
+// Handle returns a per-goroutine view. For UWCQ it fails once
+// maxThreads handles exist.
+func (q *Queue[T]) Handle() (*Handle[T], error) {
+	if q.maxHandles > 0 && q.handles.Add(1) > int64(q.maxHandles) {
+		q.handles.Add(-1)
+		return nil, fmt.Errorf("unbounded: handle census exhausted (maxThreads %d)", q.maxHandles)
+	}
+	return &Handle[T]{q: q, views: make(map[ringCtl[T]]ringView[T])}, nil
 }
 
-// RingsAllocated reports how many rings were ever created.
-func (q *Queue) RingsAllocated() int64 { return q.rings.Load() }
+// RingCap returns the capacity of each ring.
+func (q *Queue[T]) RingCap() uint64 { return q.ringCap }
 
-// Footprint returns cumulative ring allocation in bytes (the memory
-// signal of Fig. 10a applied to the unbounded variants).
-func (q *Queue) Footprint() uint64 {
-	var f uint64
+// RingsAllocated reports how many rings were ever constructed. With
+// recycling, a steady burst/drain workload keeps this flat once the
+// pool is primed.
+func (q *Queue[T]) RingsAllocated() int64 { return q.allocd.Load() }
+
+// RingsRecycled reports how many ring turnovers were served from the
+// pool instead of allocating.
+func (q *Queue[T]) RingsRecycled() int64 { return q.reused.Load() }
+
+// Rings returns the number of live rings — the current length of the
+// outer list, excluding pooled rings. Racy by nature; for
+// introspection and figures.
+func (q *Queue[T]) Rings() int {
+	n := 0
+	for ln := q.head.Load(); ln != nil; ln = ln.next.Load() {
+		n++
+	}
+	return n
+}
+
+// Footprint returns the bytes retained right now: every live ring of
+// the outer list plus the rings parked in the free-list. This is the
+// live-memory signal of the paper's Fig. 10a applied to the unbounded
+// variants — it grows while a burst is buffered and shrinks back to
+// (1 + pool) rings once drained.
+func (q *Queue[T]) Footprint() uint64 {
+	f := q.pool.footprint()
 	for n := q.head.Load(); n != nil; n = n.next.Load() {
 		f += n.r.Footprint()
 	}
 	return f
 }
 
-func (h *Handle) view(n *node) (ringView, error) {
+// view returns this handle's cached view of r, creating it on first
+// touch. Entries are pruned only for rings that can no longer recur
+// (neither live, nor pooled, nor in flight between structures during
+// an append or a retire), so a handle registers with any given ring
+// at most once — the invariant that keeps wCQ's per-ring census
+// sufficient.
+func (h *Handle[T]) view(r ringCtl[T]) (ringView[T], error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if v, ok := h.views[n]; ok {
+	if v, ok := h.views[r]; ok {
 		return v, nil
 	}
-	v, err := n.r.View()
+	v, err := r.View()
 	if err != nil {
 		return nil, err
 	}
-	h.views[n] = v
-	// Forget rings the head has passed so the map stays small.
-	if len(h.views) > 8 {
-		live := map[*node]bool{}
-		for ln := h.q.head.Load(); ln != nil; ln = ln.next.Load() {
-			live[ln] = true
-		}
+	h.views[r] = v
+	if len(h.views) > 16 {
+		keep := h.q.reachableRings()
 		for k := range h.views {
-			if !live[k] {
+			if !keep[k] {
 				delete(h.views, k)
 			}
 		}
@@ -145,103 +231,316 @@ func (h *Handle) view(n *node) (ringView, error) {
 	return v, nil
 }
 
+// reachableRings snapshots every ring that can still recur: live,
+// pooled, or in flight between structures. The whole snapshot runs
+// under the pool mutex — every transition between the three states
+// takes that lock (takeRing/linkRing/put/markInflight), so a ring
+// mid-transition is always caught in at least one scan; a two-phase
+// snapshot without the lock could miss a ring that moved from pool to
+// live list between the scans (linkRing unmarks only after the node
+// is linked), and a missed ring costs a second census registration on
+// reuse.
+func (q *Queue[T]) reachableRings() map[ringCtl[T]]bool {
+	keep := map[ringCtl[T]]bool{}
+	q.pool.mu.Lock()
+	defer q.pool.mu.Unlock()
+	for ln := q.head.Load(); ln != nil; ln = ln.next.Load() {
+		keep[ln.r] = true
+	}
+	for _, r := range q.pool.rings {
+		keep[r] = true
+	}
+	for r := range q.pool.inflight {
+		keep[r] = true
+	}
+	return keep
+}
+
+// takeRing produces the next tail ring: from the pool when one is
+// parked there, freshly allocated otherwise. Either way the ring is
+// registered as in flight until linkRing or returnRing retires the
+// append, so concurrent view pruning cannot orphan census
+// registrations.
+func (q *Queue[T]) takeRing() (ringCtl[T], error) {
+	if r, ok := q.pool.get(); ok {
+		r.Reset()
+		q.reused.Add(1)
+		return r, nil
+	}
+	r, err := q.mk()
+	if err != nil {
+		return nil, err
+	}
+	q.pool.markInflight(r)
+	q.allocd.Add(1)
+	return r, nil
+}
+
+// linkRing retires a successful append.
+func (q *Queue[T]) linkRing(r ringCtl[T]) { q.pool.unmarkInflight(r) }
+
+// returnRing retires a lost append: the seeded value is reclaimed by
+// the caller beforehand, and the (sealed, drained) ring goes back to
+// the pool.
+func (q *Queue[T]) returnRing(r ringCtl[T]) {
+	r.Seal()
+	q.pool.put(r)
+}
+
 // Enqueue appends v. It always succeeds: a sealed or full tail ring is
-// replaced by a fresh one (the unbounded-memory trade-off the bounded
-// wCQ avoids).
-func (h *Handle) Enqueue(v uint64) error {
+// sealed for good and replaced by a fresh one, seeded with v (as
+// Enqueue_Unbounded does in Fig. 13). The returned error is reserved
+// for broken invariants (ring construction or census failures that the
+// constructors rule out); callers that used the constructors can treat
+// it as impossible.
+func (h *Handle[T]) Enqueue(v T) error {
 	q := h.q
 	for {
 		ltail := q.tail.Load()
+		ltail.pins.Add(1)
+		if ltail.retired.Load() {
+			// Head already passed this node; its ring may be recycled.
+			// A retired node always has a successor, so help the
+			// stalled linker advance tail instead of spinning on the
+			// stale pointer until that goroutine resumes.
+			ltail.pins.Add(-1)
+			if next := ltail.next.Load(); next != nil {
+				q.tail.CompareAndSwap(ltail, next)
+			}
+			continue
+		}
 		if next := ltail.next.Load(); next != nil {
+			ltail.pins.Add(-1)
 			q.tail.CompareAndSwap(ltail, next)
 			continue
 		}
-		view, err := h.view(ltail)
+		view, err := h.view(ltail.r)
 		if err != nil {
+			ltail.pins.Add(-1)
 			return err
 		}
 		if view.EnqueueSealed(v) {
+			ltail.pins.Add(-1)
 			return nil
 		}
 		// Full or finalized: seal it and append a fresh ring seeded
-		// with v (as Enqueue_Unbounded does in Fig. 13).
+		// with v.
 		ltail.r.Seal()
-		nr, err := q.mk()
+		nr, err := q.takeRing()
 		if err != nil {
+			ltail.pins.Add(-1)
 			return err
 		}
-		nn := &node{r: nr}
-		nv, err := nr.View()
+		nv, err := h.view(nr)
 		if err != nil {
+			q.pool.unmarkInflight(nr) // don't leak the taken ring
+			ltail.pins.Add(-1)
 			return err
 		}
 		if !nv.EnqueueSealed(v) {
+			q.pool.unmarkInflight(nr)
+			ltail.pins.Add(-1)
 			return fmt.Errorf("unbounded: fresh ring rejected enqueue")
 		}
+		nn := &node[T]{r: nr}
 		if ltail.next.CompareAndSwap(nil, nn) {
-			q.rings.Add(1)
 			q.tail.CompareAndSwap(ltail, nn)
+			q.linkRing(nr)
+			ltail.pins.Add(-1)
 			return nil
 		}
-		// Lost the append race; retry with the winner's ring.
+		// Lost the append race: reclaim the seed (the ring was never
+		// linked, so this handle still owns it exclusively) and park
+		// the ring for reuse, then retry with the winner's ring.
+		nv.Dequeue()
+		q.returnRing(nr)
+		ltail.pins.Add(-1)
 	}
 }
 
 // Dequeue removes the oldest value; ok is false when the whole queue
-// is empty.
-func (h *Handle) Dequeue() (uint64, bool, error) {
+// is empty. Errors are reserved for broken invariants, like Enqueue's.
+func (h *Handle[T]) Dequeue() (v T, ok bool, err error) {
 	q := h.q
+	var zero T
 	for {
 		lhead := q.head.Load()
-		view, err := h.view(lhead)
-		if err != nil {
-			return 0, false, err
+		lhead.pins.Add(1)
+		if lhead.retired.Load() {
+			lhead.pins.Add(-1)
+			continue
+		}
+		view, verr := h.view(lhead.r)
+		if verr != nil {
+			lhead.pins.Add(-1)
+			return zero, false, verr
 		}
 		if v, ok := view.Dequeue(); ok {
+			lhead.pins.Add(-1)
 			return v, true, nil
 		}
-		if lhead.next.Load() == nil {
-			return 0, false, nil // no successor: genuinely empty
+		next := lhead.next.Load()
+		if next == nil {
+			lhead.pins.Add(-1)
+			return zero, false, nil // no successor: genuinely empty
 		}
 		if !lhead.r.Drained() {
+			lhead.pins.Add(-1)
 			continue // in-flight enqueues may still land here
 		}
-		// One more look after the drain barrier, then advance.
+		// One more look after the drain barrier, then advance. The
+		// ring is marked in flight BEFORE the head CAS: from the
+		// moment the CAS unlinks it until retire hands it to the pool
+		// (or abandons it), the node is on no reachable structure, and
+		// without the mark a concurrent view prune in that window
+		// would drop a view of a ring that can still recur — costing
+		// a second (census-consuming) registration on reuse.
 		if v, ok := view.Dequeue(); ok {
+			lhead.pins.Add(-1)
 			return v, true, nil
 		}
-		q.head.CompareAndSwap(lhead, lhead.next.Load())
+		q.pool.markInflight(lhead.r)
+		advanced := q.head.CompareAndSwap(lhead, next)
+		lhead.pins.Add(-1)
+		if advanced {
+			q.retire(lhead)
+		} else {
+			q.pool.unmarkInflight(lhead.r)
+		}
 	}
+}
+
+// retire runs on the dequeuer that advanced head past n (which marked
+// n.r in flight before its CAS): mark the node retired, then recycle
+// its ring only if no straggler holds a pin (see the node comment for
+// why this order is the whole proof). Either path releases the
+// in-flight mark.
+func (q *Queue[T]) retire(n *node[T]) {
+	n.retired.Store(true)
+	if n.pins.Load() == 0 {
+		q.pool.put(n.r)
+		return
+	}
+	// Pinned: a straggler may still touch the ring; leave it to the GC.
+	q.pool.unmarkInflight(n.r)
+}
+
+// ringPool is the bounded sealed-ring free-list. It also tracks rings
+// that are "in flight" between leaving the pool (or allocation) and
+// being linked at the tail, so Handle.view pruning never drops a view
+// of a ring that can come back.
+type ringPool[T any] struct {
+	mu    sync.Mutex
+	rings []ringCtl[T] // LIFO: the most recently drained ring is the cache-warmest
+	// inflight is a reference count per ring: dequeuers racing the
+	// same head CAS each take a mark, and only the last release drops
+	// the ring from the reachable set.
+	inflight map[ringCtl[T]]int
+	max      int
+}
+
+// get removes a parked ring and marks it in flight.
+func (p *ringPool[T]) get() (ringCtl[T], bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.rings) == 0 {
+		return nil, false
+	}
+	r := p.rings[len(p.rings)-1]
+	p.rings = p.rings[:len(p.rings)-1]
+	p.markInflightLocked(r)
+	return r, true
+}
+
+// put parks a sealed, drained, unreachable ring for reuse; when the
+// pool is full the ring is dropped for the GC. Either way the
+// caller's in-flight mark is released.
+func (p *ringPool[T]) put(r ringCtl[T]) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.unmarkInflightLocked(r)
+	if len(p.rings) < p.max {
+		p.rings = append(p.rings, r)
+	}
+}
+
+func (p *ringPool[T]) markInflight(r ringCtl[T]) {
+	p.mu.Lock()
+	p.markInflightLocked(r)
+	p.mu.Unlock()
+}
+
+func (p *ringPool[T]) markInflightLocked(r ringCtl[T]) {
+	if p.inflight == nil {
+		p.inflight = map[ringCtl[T]]int{}
+	}
+	p.inflight[r]++
+}
+
+func (p *ringPool[T]) unmarkInflight(r ringCtl[T]) {
+	p.mu.Lock()
+	p.unmarkInflightLocked(r)
+	p.mu.Unlock()
+}
+
+func (p *ringPool[T]) unmarkInflightLocked(r ringCtl[T]) {
+	if n := p.inflight[r]; n > 1 {
+		p.inflight[r] = n - 1
+	} else {
+		delete(p.inflight, r)
+	}
+}
+
+// footprint sums the parked rings' allocation.
+func (p *ringPool[T]) footprint() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var f uint64
+	for _, r := range p.rings {
+		f += r.Footprint()
+	}
+	return f
+}
+
+// Pooled reports how many rings are currently parked in the free-list.
+func (q *Queue[T]) Pooled() int {
+	q.pool.mu.Lock()
+	defer q.pool.mu.Unlock()
+	return len(q.pool.rings)
 }
 
 // --- ring adapters ---
 
-type scqCtl struct{ q *scq.Queue[uint64] }
+type scqCtl[T any] struct{ q *scq.Queue[T] }
 
-func (c scqCtl) Seal()                   { c.q.Seal() }
-func (c scqCtl) Drained() bool           { return c.q.Drained() }
-func (c scqCtl) Footprint() uint64       { return c.q.Footprint() }
-func (c scqCtl) View() (ringView, error) { return scqView{c.q}, nil }
+func (c scqCtl[T]) Seal()             { c.q.Seal() }
+func (c scqCtl[T]) Reset()            { c.q.Reset() }
+func (c scqCtl[T]) Drained() bool     { return c.q.Drained() }
+func (c scqCtl[T]) Footprint() uint64 { return c.q.Footprint() }
+func (c scqCtl[T]) View() (ringView[T], error) {
+	return scqView[T]{c.q}, nil
+}
 
-type scqView struct{ q *scq.Queue[uint64] }
+type scqView[T any] struct{ q *scq.Queue[T] }
 
-func (v scqView) EnqueueSealed(x uint64) bool { return v.q.EnqueueSealed(x) }
-func (v scqView) Dequeue() (uint64, bool)     { return v.q.Dequeue() }
+func (v scqView[T]) EnqueueSealed(x T) bool { return v.q.EnqueueSealed(x) }
+func (v scqView[T]) Dequeue() (T, bool)     { return v.q.Dequeue() }
 
-type wcqCtl struct{ q *wcq.Queue[uint64] }
+type wcqCtl[T any] struct{ q *wcq.Queue[T] }
 
-func (c wcqCtl) Seal()             { c.q.Seal() }
-func (c wcqCtl) Drained() bool     { return c.q.Drained() }
-func (c wcqCtl) Footprint() uint64 { return c.q.Footprint() }
-func (c wcqCtl) View() (ringView, error) {
+func (c wcqCtl[T]) Seal()             { c.q.Seal() }
+func (c wcqCtl[T]) Reset()            { c.q.Reset() }
+func (c wcqCtl[T]) Drained() bool     { return c.q.Drained() }
+func (c wcqCtl[T]) Footprint() uint64 { return c.q.Footprint() }
+func (c wcqCtl[T]) View() (ringView[T], error) {
 	h, err := c.q.Register()
 	if err != nil {
 		return nil, err
 	}
-	return wcqView{h}, nil
+	return wcqView[T]{h}, nil
 }
 
-type wcqView struct{ h *wcq.QueueHandle[uint64] }
+type wcqView[T any] struct{ h *wcq.QueueHandle[T] }
 
-func (v wcqView) EnqueueSealed(x uint64) bool { return v.h.EnqueueSealed(x) }
-func (v wcqView) Dequeue() (uint64, bool)     { return v.h.Dequeue() }
+func (v wcqView[T]) EnqueueSealed(x T) bool { return v.h.EnqueueSealed(x) }
+func (v wcqView[T]) Dequeue() (T, bool)     { return v.h.Dequeue() }

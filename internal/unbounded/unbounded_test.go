@@ -9,19 +9,19 @@ import (
 	"repro/internal/atomicx"
 )
 
-type maker func(t *testing.T, ringCap uint64) *Queue
+type maker func(t *testing.T, ringCap uint64) *Queue[uint64]
 
 func makers() map[string]maker {
 	return map[string]maker{
-		"LSCQ": func(t *testing.T, rc uint64) *Queue {
-			q, err := NewLSCQ(rc, atomicx.NativeFAA)
+		"LSCQ": func(t *testing.T, rc uint64) *Queue[uint64] {
+			q, err := NewLSCQ[uint64](rc, atomicx.NativeFAA)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return q
 		},
-		"UWCQ": func(t *testing.T, rc uint64) *Queue {
-			q, err := NewUWCQ(rc, 64, nil)
+		"UWCQ": func(t *testing.T, rc uint64) *Queue[uint64] {
+			q, err := NewUWCQ[uint64](rc, 64, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -34,7 +34,8 @@ func TestUnboundedSequentialGrowth(t *testing.T) {
 	for name, mk := range makers() {
 		name, mk := name, mk
 		t.Run(name, func(t *testing.T) {
-			q := mk(t, 8) // tiny rings force frequent ring turnover
+			q := mk(t, 8)   // tiny rings force frequent ring turnover
+			q.SetPoolCap(0) // no recycling: every turnover allocates
 			h, err := q.Handle()
 			if err != nil {
 				t.Fatal(err)
@@ -113,7 +114,7 @@ func TestUnboundedMPMC(t *testing.T) {
 					t.Fatal(err)
 				}
 				wg.Add(1)
-				go func(p int, h *Handle) {
+				go func(p int, h *Handle[uint64]) {
 					defer wg.Done()
 					for i := 0; i < per; i++ {
 						if err := h.Enqueue(uint64(p*per + i)); err != nil {
@@ -129,7 +130,7 @@ func TestUnboundedMPMC(t *testing.T) {
 					t.Fatal(err)
 				}
 				wg.Add(1)
-				go func(h *Handle) {
+				go func(h *Handle[uint64]) {
 					defer wg.Done()
 					for got.Load() < int64(total) {
 						v, ok, err := h.Dequeue()
@@ -156,8 +157,8 @@ func TestUnboundedMPMC(t *testing.T) {
 	}
 }
 
-func TestUnboundedFootprintGrows(t *testing.T) {
-	q, err := NewLSCQ(8, atomicx.NativeFAA)
+func TestUnboundedFootprintGrowsWhileBuffered(t *testing.T) {
+	q, err := NewLSCQ[uint64](8, atomicx.NativeFAA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,12 +170,94 @@ func TestUnboundedFootprintGrows(t *testing.T) {
 	if q.Footprint() <= f0 {
 		t.Fatalf("footprint did not grow: %d -> %d", f0, q.Footprint())
 	}
+	if q.Rings() < 25 {
+		t.Fatalf("only %d live rings for 200 buffered values in cap-8 rings", q.Rings())
+	}
+}
+
+func TestUnboundedPoolRecyclesRings(t *testing.T) {
+	// A sequential burst/drain churn must converge on a fixed ring
+	// population: after the pool is primed, turnovers reuse rings
+	// instead of allocating.
+	for name, mk := range makers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			q := mk(t, 8)
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, exp := uint64(0), uint64(0)
+			for round := 0; round < 50; round++ {
+				for k := 0; k < 24; k++ { // 3 ring turnovers per round
+					if err := h.Enqueue(next); err != nil {
+						t.Fatal(err)
+					}
+					next++
+				}
+				for k := 0; k < 24; k++ {
+					v, ok, err := h.Dequeue()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok || v != exp {
+						t.Fatalf("round %d: got (%d,%v), want %d", round, v, ok, exp)
+					}
+					exp++
+				}
+			}
+			if q.RingsRecycled() == 0 {
+				t.Fatal("pool never recycled a ring across 50 burst/drain rounds")
+			}
+			// Sequential churn retires every ring unpinned, so the
+			// allocation count must stay near (live + pool), not grow
+			// with the ~150 turnovers.
+			if q.RingsAllocated() > int64(DefaultPoolRings)+5 {
+				t.Fatalf("allocated %d rings across recycled churn (recycled %d)",
+					q.RingsAllocated(), q.RingsRecycled())
+			}
+		})
+	}
+}
+
+func TestUnboundedFootprintBoundedAfterDrain(t *testing.T) {
+	// The paper's bounded-memory claim under churn: once a burst
+	// drains, retained memory is capped by (1 live + pool) rings.
+	for name, mk := range makers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			q := mk(t, 8)
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			perRing := q.Footprint() // exactly one live ring at rest
+			for i := uint64(0); i < 2000; i++ {
+				if err := h.Enqueue(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			peak := q.Footprint()
+			if peak < 100*perRing {
+				t.Fatalf("peak %d B did not reflect the burst (ring %d B)", peak, perRing)
+			}
+			for i := uint64(0); i < 2000; i++ {
+				if _, ok, err := h.Dequeue(); !ok || err != nil {
+					t.Fatalf("drain at %d: ok=%v err=%v", i, ok, err)
+				}
+			}
+			if got, limit := q.Footprint(), uint64(DefaultPoolRings+1)*perRing; got > limit {
+				t.Fatalf("retained %d B after drain, want <= %d (pool %d rings)",
+					got, limit, q.Pooled())
+			}
+		})
+	}
 }
 
 func TestUnboundedPerProducerFIFOAcrossRings(t *testing.T) {
 	// One producer, one consumer, ring turnover in the middle: strict
-	// order must survive ring boundaries.
-	q, err := NewUWCQ(4, 8, nil)
+	// order must survive ring boundaries (and ring recycling).
+	q, err := NewUWCQ[uint64](4, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,6 +292,22 @@ func TestUnboundedPerProducerFIFOAcrossRings(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestUWCQHandleCensus(t *testing.T) {
+	q, err := NewUWCQ[uint64](8, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Handle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Handle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Handle(); err == nil {
+		t.Fatal("third handle accepted with maxThreads 2")
 	}
 }
 

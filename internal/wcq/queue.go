@@ -88,6 +88,14 @@ func (h *QueueHandle[T]) Dequeue() (v T, ok bool) {
 // the remaining elements normally.
 func (q *Queue[T]) Seal() { q.sealed.Store(true) }
 
+// Reset reopens a sealed queue for enqueues. It is only sound on a
+// queue that is Drained and reachable by no other goroutine (the
+// unbounded construction's ring recycling, where the retire handshake
+// guarantees exclusivity); the rings' monotonic cycle counters carry
+// on, so no other state needs rewinding. Handles registered before the
+// seal stay valid.
+func (q *Queue[T]) Reset() { q.sealed.Store(false) }
+
 // Drained reports that no value can ever be produced by this queue
 // again: sealed, no enqueue in flight, and every enqueue ticket
 // examined. EnqueueSealed registers in inflight BEFORE checking the

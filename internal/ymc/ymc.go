@@ -3,7 +3,7 @@
 // infinite-array queue: tickets index into a linked list of fixed-size
 // segments allocated on demand.
 //
-// Faithfulness notes (see DESIGN.md):
+// Faithfulness notes (see ARCHITECTURE.md):
 //
 //   - The fast paths (F&A ticket, cell CAS, ⊤-poisoning by overrunning
 //     dequeuers) follow the paper directly.

@@ -1,0 +1,157 @@
+package wfqueue
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/unbounded"
+)
+
+// DefaultRingCapacity is the per-ring capacity NewUnbounded uses when
+// WithRingCapacity is not given: large enough that outer-list
+// turnover is rare, small enough that a drained burst returns its
+// memory promptly.
+const DefaultRingCapacity = 1024
+
+// RingKind selects the bounded ring an unbounded queue links together.
+type RingKind int
+
+const (
+	// RingWCQ links wait-free wCQ rings (the default): every ring
+	// operation completes in a bounded number of steps, and handles
+	// draw on a per-ring thread census of maxThreads.
+	RingWCQ RingKind = iota
+	// RingSCQ links lock-free SCQ rings (the paper's LSCQ): no thread
+	// census, so any number of Handles may be created, at the cost of
+	// lock-free (not wait-free) ring progress.
+	RingSCQ
+)
+
+// String names the ring kind as the queue registry does.
+func (k RingKind) String() string {
+	switch k {
+	case RingWCQ:
+		return "UWCQ"
+	case RingSCQ:
+		return "LSCQ"
+	}
+	return "?"
+}
+
+// WithRingKind selects the bounded ring NewUnbounded links together
+// (default RingWCQ). Other constructors ignore this option.
+func WithRingKind(k RingKind) Option {
+	return func(o *options) { o.ringKind = k }
+}
+
+// WithRingCapacity sets the capacity of each ring an unbounded queue
+// links (a power of two >= 2; default DefaultRingCapacity). It bounds
+// the retained-memory granularity: after a burst drains, the queue
+// keeps one live ring plus a small recycling pool of this size.
+// Other constructors ignore this option.
+func WithRingCapacity(n uint64) Option {
+	return func(o *options) { o.ringCap = n }
+}
+
+// UnboundedQueue is an MPMC FIFO with no capacity bound, built by
+// linking bounded rings (the paper's Appendix A construction):
+// Enqueue never reports full — a full ring is sealed and a fresh ring
+// is appended. Memory therefore grows with the number of buffered
+// values (in ring-sized steps, see Footprint) and shrinks back as
+// bursts drain; a bounded free-list recycles drained rings so
+// steady-state churn does not allocate.
+//
+// Progress: within a ring, operations keep the ring kind's guarantee
+// (wait-free for RingWCQ, lock-free for RingSCQ), and the outer list
+// itself is lock-free; ring turnover, however, briefly serializes on
+// the recycling pool's mutex, so the composite as a whole is not
+// lock-free at ring boundaries. Turnover is rare (once per RingCap
+// values), which is why throughput tracks the rings, as the paper
+// observes.
+type UnboundedQueue[T any] struct {
+	q *unbounded.Queue[T]
+}
+
+// UnboundedHandle is a goroutine's capability to use an
+// UnboundedQueue. Not safe for concurrent use by multiple goroutines.
+// Within a ring, operations keep the ring kind's own guarantee; at
+// ring boundaries they may retry and briefly take the pool mutex (see
+// UnboundedQueue).
+type UnboundedHandle[T any] struct {
+	h *unbounded.Handle[T]
+}
+
+// NewUnbounded returns an empty unbounded queue operated by at most
+// maxThreads concurrent handles (the bound applies to RingWCQ, whose
+// rings carry a thread census; RingSCQ accepts any number of
+// handles). Configure with WithRingKind and WithRingCapacity.
+func NewUnbounded[T any](maxThreads int, opts ...Option) (*UnboundedQueue[T], error) {
+	wo, o := buildOpts(opts)
+	if maxThreads < 1 {
+		return nil, fmt.Errorf("wfqueue: maxThreads must be >= 1, got %d", maxThreads)
+	}
+	ringCap := o.ringCap
+	if ringCap == 0 {
+		ringCap = DefaultRingCapacity
+	}
+	if ringCap < 2 || !ring.IsPow2(ringCap) {
+		return nil, fmt.Errorf("wfqueue: ring capacity must be a power of two >= 2, got %d", ringCap)
+	}
+	var q *unbounded.Queue[T]
+	var err error
+	switch o.ringKind {
+	case RingWCQ:
+		q, err = unbounded.NewUWCQ[T](ringCap, maxThreads, wo)
+	case RingSCQ:
+		q, err = unbounded.NewLSCQ[T](ringCap, o.mode)
+	default:
+		return nil, fmt.Errorf("wfqueue: unknown ring kind %d", o.ringKind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &UnboundedQueue[T]{q: q}, nil
+}
+
+// Handle registers the calling goroutine and returns its handle. With
+// RingWCQ it fails once maxThreads handles exist.
+func (q *UnboundedQueue[T]) Handle() (*UnboundedHandle[T], error) {
+	h, err := q.q.Handle()
+	if err != nil {
+		return nil, err
+	}
+	return &UnboundedHandle[T]{h: h}, nil
+}
+
+// RingCap returns the capacity of each linked ring.
+func (q *UnboundedQueue[T]) RingCap() uint64 { return q.q.RingCap() }
+
+// Rings returns the number of live rings currently linked (at least
+// one). Racy by nature; for introspection and capacity planning.
+func (q *UnboundedQueue[T]) Rings() int { return q.q.Rings() }
+
+// Footprint returns the bytes retained right now: the live rings plus
+// the bounded recycling pool. Unlike the bounded queues' constant
+// footprint, this grows in ring-sized steps while values are buffered
+// and shrinks back to at most (1 + pool) rings after a drain.
+func (q *UnboundedQueue[T]) Footprint() uint64 { return q.q.Footprint() }
+
+// Enqueue appends v. It always succeeds — the queue grows instead of
+// reporting full. An UnboundedQueue built by NewUnbounded cannot fail
+// here; the implementation panics if an internal invariant (ring
+// construction or census accounting) is ever broken.
+func (h *UnboundedHandle[T]) Enqueue(v T) {
+	if err := h.h.Enqueue(v); err != nil {
+		panic("wfqueue: unbounded enqueue invariant broken: " + err.Error())
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok is false when the
+// queue is empty.
+func (h *UnboundedHandle[T]) Dequeue() (v T, ok bool) {
+	v, ok, err := h.h.Dequeue()
+	if err != nil {
+		panic("wfqueue: unbounded dequeue invariant broken: " + err.Error())
+	}
+	return v, ok
+}

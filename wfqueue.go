@@ -30,7 +30,14 @@
 // paper). NewSharded composes several wCQ rings behind one interface
 // — per-handle enqueue affinity, work-stealing dequeue and native
 // batch operations — for workloads that saturate a single ring's
-// head/tail word.
+// head/tail word. NewUnbounded links bounded rings into a queue with
+// no capacity limit (the paper's Appendix A): Enqueue never reports
+// full, memory grows and shrinks in ring-sized steps, and drained
+// rings are recycled through a bounded pool. NewChan layers blocking
+// Send/Recv/Close semantics over any of the cores.
+//
+// See ARCHITECTURE.md for the layer map and the progress/memory
+// table of every variant.
 package wfqueue
 
 import (
@@ -52,6 +59,8 @@ type options struct {
 	helpDelay   int
 	shards      int
 	backend     Backend
+	ringKind    RingKind
+	ringCap     uint64
 }
 
 // WithEmulatedFAA makes every fetch-and-add a CAS loop, modelling
@@ -115,7 +124,8 @@ type Queue[T any] struct {
 }
 
 // Handle is a goroutine's capability to use a Queue. Not safe for
-// concurrent use by multiple goroutines.
+// concurrent use by multiple goroutines; operations are wait-free
+// (bounded steps regardless of other goroutines).
 type Handle[T any] struct {
 	h *wcq.QueueHandle[T]
 }
@@ -168,7 +178,8 @@ type Ring struct {
 	r *wcq.Ring
 }
 
-// RingHandle is a goroutine's capability to use a Ring.
+// RingHandle is a goroutine's capability to use a Ring. Not safe for
+// concurrent use by multiple goroutines; operations are wait-free.
 type RingHandle struct {
 	h *wcq.Handle
 }
