@@ -64,11 +64,13 @@ type chanCore[T any] interface {
 }
 
 // chanCoreHandle is the per-goroutine nonblocking view every backend
-// already provides: bounded-step enqueue/dequeue that report
-// full/empty instead of blocking.
+// already provides: bounded-step enqueue/dequeue (scalar and native
+// batch) that report full/empty instead of blocking.
 type chanCoreHandle[T any] interface {
 	Enqueue(T) bool
 	Dequeue() (T, bool)
+	EnqueueBatch(vs []T) int
+	DequeueBatch(out []T) int
 }
 
 type wcqChanCore[T any] struct{ q *Queue[T] }
@@ -106,8 +108,12 @@ func (c unboundedChanCore[T]) footprint() uint64 { return c.q.Footprint() }
 // senders never park on notFull.
 type unboundedChanHandle[T any] struct{ h *UnboundedHandle[T] }
 
-func (h unboundedChanHandle[T]) Enqueue(v T) bool   { h.h.Enqueue(v); return true }
-func (h unboundedChanHandle[T]) Dequeue() (T, bool) { return h.h.Dequeue() }
+func (h unboundedChanHandle[T]) Enqueue(v T) bool        { h.h.Enqueue(v); return true }
+func (h unboundedChanHandle[T]) Dequeue() (T, bool)      { return h.h.Dequeue() }
+func (h unboundedChanHandle[T]) EnqueueBatch(vs []T) int { return h.h.EnqueueBatch(vs) }
+func (h unboundedChanHandle[T]) DequeueBatch(out []T) int {
+	return h.h.DequeueBatch(out)
+}
 
 // Chan is a blocking, closable facade over one of the nonblocking
 // queues — the buffered-channel shape services want at the edge of a
@@ -210,11 +216,15 @@ func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], 
 // wakeNotFull wakes parked senders after a slot frees up: one sender
 // on single-ring backends (any sender can use any slot), all of them
 // on the sharded backend (see shardedFull).
-func (c *Chan[T]) wakeNotFull() {
+func (c *Chan[T]) wakeNotFull() { c.wakeNotFullN(1) }
+
+// wakeNotFullN wakes parked senders after n slots freed up (a batch
+// receive), with the same sharded-backend broadcast rule.
+func (c *Chan[T]) wakeNotFullN(n int) {
 	if c.shardedFull {
 		c.notFull.WakeAll()
 	} else {
-		c.notFull.Wake(1)
+		c.notFull.Wake(n)
 	}
 }
 
@@ -259,11 +269,23 @@ func (c *Chan[T]) Close() error {
 // is closed (each must re-evaluate the closed-and-drained condition
 // now that the in-flight count moved).
 func (c *Chan[T]) finishSend(delivered bool) {
+	if delivered {
+		c.finishSendN(1)
+	} else {
+		c.finishSendN(0)
+	}
+}
+
+// finishSendN retires one in-flight send (scalar or batch) that
+// delivered n values in its final step and wakes receivers
+// accordingly. Values delivered by earlier steps of a batch send have
+// already been signalled by then (see SendManyCtx).
+func (c *Chan[T]) finishSendN(n int) {
 	c.sending.Add(-1)
 	if c.closed.Load() {
 		c.notEmpty.WakeAll()
-	} else if delivered {
-		c.notEmpty.Wake(1)
+	} else if n > 0 {
+		c.notEmpty.Wake(n)
 	}
 }
 
@@ -356,6 +378,169 @@ func (h *ChanHandle[T]) TryRecv() (v T, ok bool, err error) {
 // empty. After Close it keeps draining buffered values and returns
 // ErrClosed once none remain.
 func (h *ChanHandle[T]) Recv() (T, error) { return h.RecvCtx(context.Background()) }
+
+// TrySendMany is the nonblocking batch send: it buffers a prefix of
+// vs through the backend's native batch reservation and returns its
+// length (a short count means the buffer filled mid-batch), or
+// ErrClosed after Close (nothing is buffered then).
+func (h *ChanHandle[T]) TrySendMany(vs []T) (int, error) {
+	c := h.c
+	c.sending.Add(1)
+	if c.closed.Load() {
+		c.finishSendN(0)
+		return 0, ErrClosed
+	}
+	n := h.h.EnqueueBatch(vs)
+	c.finishSendN(n)
+	return n, nil
+}
+
+// SendMany blocks until every value of vs is buffered, in order,
+// parking while the buffer is full. It returns how many values were
+// buffered with ErrClosed if the Chan closes mid-batch (the count is
+// the batch's delivered prefix; the rest was not buffered).
+func (h *ChanHandle[T]) SendMany(vs []T) (int, error) {
+	return h.SendManyCtx(context.Background(), vs)
+}
+
+// SendManyCtx is SendMany bounded by ctx: it returns the delivered
+// prefix length and ctx.Err() if the context expires while the buffer
+// is still full. Values buffered before an interruption stay
+// buffered; receivers are woken as each chunk lands, not at the end
+// of the batch.
+func (h *ChanHandle[T]) SendManyCtx(ctx context.Context, vs []T) (int, error) {
+	c := h.c
+	if len(vs) == 0 {
+		// Nothing to deliver: without this guard the loop below would
+		// park on notFull forever (the success check lives inside the
+		// delivered-a-chunk branch) while pinning the in-flight send
+		// counter, wedging every receiver's close-drain check.
+		if c.closed.Load() {
+			return 0, ErrClosed
+		}
+		return 0, nil
+	}
+	c.sending.Add(1)
+	sent := 0
+	for {
+		if c.closed.Load() {
+			c.finishSendN(0)
+			return sent, ErrClosed
+		}
+		if n := h.h.EnqueueBatch(vs[sent:]); n > 0 {
+			sent += n
+			if sent == len(vs) {
+				c.finishSendN(n)
+				return sent, nil
+			}
+			c.notEmpty.Wake(n) // partial chunk is visible now; signal receivers
+		}
+		if err := ctx.Err(); err != nil {
+			c.finishSendN(0)
+			return sent, err
+		}
+		w := c.notFull.Prepare()
+		// Re-check after registering (lost-wakeup protocol, as SendCtx).
+		if c.closed.Load() {
+			c.notFull.Abort(w)
+			c.finishSendN(0)
+			return sent, ErrClosed
+		}
+		if n := h.h.EnqueueBatch(vs[sent:]); n > 0 {
+			c.notFull.Abort(w)
+			sent += n
+			if sent == len(vs) {
+				c.finishSendN(n)
+				return sent, nil
+			}
+			c.notEmpty.Wake(n)
+			continue
+		}
+		select {
+		case <-w.Ready():
+			c.notFull.Finish(w)
+		case <-ctx.Done():
+			c.notFull.Abort(w)
+			c.finishSendN(0)
+			return sent, ctx.Err()
+		}
+	}
+}
+
+// TryRecvMany is the nonblocking batch receive: it fills a prefix of
+// out through the backend's native batch reservation and returns its
+// length (0 with a nil error means the buffer is empty), or ErrClosed
+// once the Chan is closed and drained.
+func (h *ChanHandle[T]) TryRecvMany(out []T) (int, error) {
+	c := h.c
+	if n := h.h.DequeueBatch(out); n > 0 {
+		c.wakeNotFullN(n)
+		return n, nil
+	}
+	if c.closed.Load() && c.sending.Load() == 0 {
+		// Final re-check: with the in-flight counter at zero after
+		// close, every completed send's value is visible.
+		if n := h.h.DequeueBatch(out); n > 0 {
+			c.wakeNotFullN(n)
+			return n, nil
+		}
+		return 0, ErrClosed
+	}
+	return 0, nil
+}
+
+// RecvMany blocks until at least one value is available, then fills a
+// prefix of out without waiting for more and returns its length. It
+// never returns 0 with a nil error. After Close it keeps draining —
+// the final values come back as a partial batch — and returns
+// ErrClosed once nothing remains.
+func (h *ChanHandle[T]) RecvMany(out []T) (int, error) {
+	return h.RecvManyCtx(context.Background(), out)
+}
+
+// RecvManyCtx is RecvMany bounded by ctx: it returns ctx.Err() if the
+// context expires while the buffer is still empty.
+func (h *ChanHandle[T]) RecvManyCtx(ctx context.Context, out []T) (int, error) {
+	c := h.c
+	if len(out) == 0 {
+		return 0, nil
+	}
+	for {
+		if n := h.h.DequeueBatch(out); n > 0 {
+			c.wakeNotFullN(n)
+			return n, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		w := c.notEmpty.Prepare()
+		// Re-check after registering (lost-wakeup protocol).
+		if n := h.h.DequeueBatch(out); n > 0 {
+			c.notEmpty.Abort(w)
+			c.wakeNotFullN(n)
+			return n, nil
+		}
+		if c.closed.Load() && c.sending.Load() == 0 {
+			if n := h.h.DequeueBatch(out); n > 0 {
+				c.notEmpty.Abort(w)
+				c.wakeNotFullN(n)
+				return n, nil
+			}
+			c.notEmpty.Abort(w)
+			// Nudge any sibling still parked so it re-evaluates the
+			// drained state too.
+			c.notEmpty.WakeAll()
+			return 0, ErrClosed
+		}
+		select {
+		case <-w.Ready():
+			c.notEmpty.Finish(w)
+		case <-ctx.Done():
+			c.notEmpty.Abort(w)
+			return 0, ctx.Err()
+		}
+	}
+}
 
 // RecvCtx is Recv bounded by ctx: it returns ctx.Err() if the
 // context expires while the buffer is still empty.

@@ -12,6 +12,8 @@
 //	wcqbench -figure s2 -batch 32        # batched 50/50 workload
 //	wcqbench -blocking                   # blocking figures + wakeup latency
 //	wcqbench -figure u1                  # unbounded burst/drain + peak footprint
+//	wcqbench -figure p2                  # native batch reservation sweep
+//	wcqbench -figure p2 -smoke-batch     # CI smoke: batch=32 must beat scalar
 //	wcqbench -figure all -json BENCH_queue.json
 //
 // Absolute numbers depend on the host; the reproduction target is the
@@ -67,6 +69,7 @@ func main() {
 		record   = flag.String("record", "", "append results as a markdown section to this file")
 		jsonPath = flag.String("json", "", "write machine-readable results (wcqbench/v1) to this file, e.g. BENCH_queue.json")
 		latSamp  = flag.Int("latency-samples", 50, "wakeup-latency samples per blocking queue")
+		smoke    = flag.Bool("smoke-batch", false, "exit nonzero unless figure p2's batch=32 per-element throughput beats batch=1 for wCQ and SCQ (relative check, robust to host speed)")
 	)
 	shared := clihelper.Register(flag.CommandLine, 1<<16)
 	flag.Parse()
@@ -128,7 +131,11 @@ func main() {
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 		for _, pt := range pts {
 			bp := benchPoint{Figure: f.ID, Queue: pt.Queue, Threads: pt.Threads, Burst: pt.Burst}
-			if !f.Blocking && len(f.Bursts) == 0 {
+			switch {
+			case pt.Batch > 0:
+				// Batch-sweep figures (p2) stamp their own per-point size.
+				bp.Batch = pt.Batch
+			case !f.Blocking && len(f.Bursts) == 0:
 				// The blocking and burst workloads ignore -batch;
 				// stamping it here would record a batched run that
 				// never happened.
@@ -181,6 +188,38 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d points)\n", *jsonPath, len(jf.Points))
 	}
+
+	if *smoke {
+		if err := smokeBatch(jf.Points); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke-batch FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke-batch ok: p2 batch=32 beats scalar for wCQ and SCQ")
+	}
+}
+
+// smokeBatch is the CI perf gate: on the same run (same host, same
+// load), the native batch=32 per-element throughput must strictly beat
+// the scalar (batch=1) path for both ring cores. Being relative to the
+// run itself, the check is robust to absolute host speed.
+func smokeBatch(points []benchPoint) error {
+	mean := map[string]float64{}
+	for _, p := range points {
+		if p.Figure == "p2" && p.Err == "" {
+			mean[fmt.Sprintf("%s/%d", p.Queue, p.Batch)] = p.MopsMean
+		}
+	}
+	for _, q := range []string{"wCQ", "SCQ"} {
+		scalar, ok1 := mean[q+"/1"]
+		batched, ok2 := mean[q+"/32"]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("%s: missing p2 points (run with -figure p2 or all)", q)
+		}
+		if batched <= scalar {
+			return fmt.Errorf("%s: batch=32 %.3f Mops/s <= scalar %.3f Mops/s", q, batched, scalar)
+		}
+	}
+	return nil
 }
 
 // reportWakeupLatency prints (and optionally records) the parked-Recv

@@ -6,10 +6,14 @@
 //	wcqstress -queue all -slowpath            # force wCQ's helped paths
 //	wcqstress -queue Sharded -shards 8        # sharded composition
 //	wcqstress -queue all -batch 32            # batched enqueue/dequeue rounds
+//	                                          # (native single-F&A reservation
+//	                                          # on the ring-based queues)
 //	wcqstress -queue UWCQ -capacity 64        # unbounded: tiny rings, heavy
 //	                                          # turnover and pool recycling
 //	wcqstress -blocking                       # blocking Chan facades: parked
 //	                                          # Send/Recv + graceful close/drain
+//	wcqstress -blocking -batch 16             # parked SendMany/RecvMany incl.
+//	                                          # partial batches at close-drain
 //
 // "all" covers every real queue, including the unbounded LSCQ/UWCQ
 // (where -capacity sets the per-ring size, not a bound); -blocking
@@ -73,6 +77,8 @@ func main() {
 				Capacity:    int(shared.Capacity),
 			}
 			switch {
+			case shared.Blocking && shared.Batch > 1:
+				err = checker.RunBlockingBatch(q, ccfg, shared.Batch)
 			case shared.Blocking:
 				err = checker.RunBlocking(q, ccfg)
 			case shared.Batch > 1:

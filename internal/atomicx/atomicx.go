@@ -30,15 +30,28 @@ const (
 	// PowerPC/MIPS expand it via LL/SC. This is the paper's Fig. 12
 	// configuration.
 	EmulatedFAA
+	// CountingFAA behaves like EmulatedFAA and additionally counts
+	// every fetch-and-add the counter executes (Adds reads the tally).
+	// It exists so tests can assert F&A amortization — e.g. that a
+	// native batch operation issues exactly one Head/Tail F&A per
+	// fast-path batch — without instrumenting the native hot path.
+	CountingFAA
 )
 
 // String names the mode as the figures do.
 func (m Mode) String() string {
-	if m == EmulatedFAA {
+	switch m {
+	case EmulatedFAA:
 		return "emulated-faa"
+	case CountingFAA:
+		return "counting-faa"
 	}
 	return "native-faa"
 }
+
+// Emulated reports whether the mode routes fetch-and-add through a
+// CAS loop (EmulatedFAA and its counting variant).
+func (m Mode) Emulated() bool { return m != NativeFAA }
 
 // Counter is a 64-bit atomic counter whose Add either uses native F&A
 // or a CAS loop depending on the Mode it was created with. The zero
@@ -46,12 +59,15 @@ func (m Mode) String() string {
 type Counter struct {
 	v       atomic.Uint64
 	emulate bool
+	count   bool
+	adds    atomic.Int64
 }
 
 // Init sets the mode and initial value. Must be called before the
 // counter is shared.
 func (c *Counter) Init(mode Mode, v uint64) {
-	c.emulate = mode == EmulatedFAA
+	c.emulate = mode.Emulated()
+	c.count = mode == CountingFAA
 	c.v.Store(v)
 }
 
@@ -68,6 +84,9 @@ func (c *Counter) Add(delta uint64) uint64 {
 	if !c.emulate {
 		return c.v.Add(delta) - delta
 	}
+	if c.count {
+		c.adds.Add(1)
+	}
 	for {
 		old := c.v.Load()
 		if c.v.CompareAndSwap(old, old+delta) {
@@ -75,6 +94,11 @@ func (c *Counter) Add(delta uint64) uint64 {
 		}
 	}
 }
+
+// Adds returns how many fetch-and-add operations this counter has
+// executed. Only CountingFAA counters tally; in every other mode Adds
+// reports 0.
+func (c *Counter) Adds() int64 { return c.adds.Load() }
 
 // CompareAndSwap is a plain CAS on the counter word.
 func (c *Counter) CompareAndSwap(old, new uint64) bool {

@@ -153,14 +153,108 @@ func Run(q queueapi.Queue, cfg Config) error {
 	return vf.finish()
 }
 
+// sentinel poisons dequeue buffers so over-writing batch accounting
+// (a DequeueBatch writing past its returned count) is detectable. It
+// decodes to an impossible producer id, so a leak into real values is
+// caught by observe as corruption.
+const sentinel = ^uint64(0)
+
+// checkBatchAtomicity is RunBatch's deterministic pre-phase: a single
+// handle on an otherwise idle queue, where every batch must take the
+// uncontended fast path, so the batch atomicity contract is exact and
+// checkable — EnqueueBatch(k) buffers exactly k values, DequeueBatch
+// returns them contiguously in FIFO order relative to each other, and
+// neither operation's count ever disagrees with what moved. The queue
+// is left empty for the concurrent phase.
+func checkBatchAtomicity(q queueapi.Queue, cfg Config, batch int) error {
+	h, err := q.Handle()
+	if err != nil {
+		return fmt.Errorf("batch-atomicity handle: %w", err)
+	}
+	k := batch
+	if cfg.Capacity > 0 && k > cfg.Capacity/2 {
+		k = cfg.Capacity / 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	in := make([]uint64, k)
+	out := make([]uint64, k+1) // one slot of slack: an over-count is a bug, not a crash
+	for round := 0; round < 4; round++ {
+		for i := range in {
+			in[i] = Encode(0, round*k+i)
+		}
+		sent := 0
+		for sent < k {
+			n := queueapi.EnqueueBatch(h, in[sent:])
+			if n < 0 || n > k-sent {
+				return fmt.Errorf("EnqueueBatch returned %d for a %d-element batch", n, k-sent)
+			}
+			if n == 0 {
+				if sent == 0 {
+					return fmt.Errorf("idle queue rejected batch enqueue")
+				}
+				// The single-handle capacity is smaller than k (e.g. a
+				// sharded queue's home shard holds capacity/shards):
+				// adopt the discovered bound and verify with it.
+				k = sent
+				in = in[:k]
+				break
+			}
+			sent += n
+		}
+		for i := range out {
+			out[i] = sentinel
+		}
+		got := 0
+		for got < k {
+			n := queueapi.DequeueBatch(h, out[got:])
+			if n < 0 || n > len(out)-got {
+				return fmt.Errorf("DequeueBatch returned %d for a %d-slot buffer", n, len(out)-got)
+			}
+			if n == 0 {
+				return fmt.Errorf("batch lost values: drained %d of %d", got, k)
+			}
+			got += n
+		}
+		if got != k {
+			return fmt.Errorf("drained %d values, enqueued %d", got, k)
+		}
+		for i := 0; i < k; i++ {
+			if out[i] != in[i] {
+				return fmt.Errorf("batch not contiguous FIFO: out[%d] = %#x, want %#x", i, out[i], in[i])
+			}
+		}
+		for i := k; i < len(out); i++ {
+			if out[i] != sentinel {
+				return fmt.Errorf("DequeueBatch wrote past its count at out[%d]", i)
+			}
+		}
+		if n := queueapi.DequeueBatch(h, out[:1]); n != 0 {
+			return fmt.Errorf("drained queue yielded %d extra value(s)", n)
+		}
+	}
+	return nil
+}
+
 // RunBatch drives q with batched enqueues and dequeues (through the
 // queueapi.Batcher fast path when the queue has one, the generic
-// fallback otherwise) and verifies the same three properties as Run:
-// no loss, no duplication, per-producer FIFO. Short enqueue counts
-// must be prefixes, so producers resume mid-batch without reordering.
+// fallback otherwise) and verifies the same three properties as Run —
+// no loss, no duplication, per-producer FIFO — plus the batch
+// contract: a deterministic pre-phase asserts batch atomicity (a
+// fast-path batch's elements are contiguous in FIFO order relative to
+// each other) where it is exact, and the concurrent phase checks
+// partial-success accounting — short enqueue counts are prefixes (so
+// producers resume mid-batch without reordering, which the FIFO check
+// then proves) and dequeue counts match exactly what was written
+// (sentinel-poisoned buffers catch over-writes, the exactly-once sweep
+// catches under-counts).
 func RunBatch(q queueapi.Queue, cfg Config, batch int) error {
 	if batch < 1 {
 		return fmt.Errorf("checker: batch size %d < 1", batch)
+	}
+	if err := checkBatchAtomicity(q, cfg, batch); err != nil {
+		return fmt.Errorf("batch atomicity: %w", err)
 	}
 	vf := newVerifier(cfg)
 	var wg sync.WaitGroup
@@ -182,6 +276,10 @@ func RunBatch(q queueapi.Queue, cfg Config, batch int) error {
 				sent := 0
 				for sent < len(buf) {
 					n := queueapi.EnqueueBatch(h, buf[sent:])
+					if n < 0 || n > len(buf)-sent {
+						vf.report(fmt.Errorf("EnqueueBatch returned %d for a %d-element batch", n, len(buf)-sent))
+						return
+					}
 					sent += n
 					if n == 0 {
 						runtime.Gosched() // full: wait for consumers
@@ -202,10 +300,23 @@ func RunBatch(q queueapi.Queue, cfg Config, batch int) error {
 			lastSeq := make(map[int]int, cfg.Producers)
 			buf := make([]uint64, batch)
 			for !vf.done() {
+				for i := range buf {
+					buf[i] = sentinel
+				}
 				n := queueapi.DequeueBatch(h, buf)
+				if n < 0 || n > len(buf) {
+					vf.report(fmt.Errorf("DequeueBatch returned %d for a %d-slot buffer", n, len(buf)))
+					return
+				}
 				if n == 0 {
 					runtime.Gosched()
 					continue
+				}
+				for i := n; i < len(buf); i++ {
+					if buf[i] != sentinel {
+						vf.report(fmt.Errorf("DequeueBatch wrote past its count at [%d]", i))
+						return
+					}
 				}
 				for _, v := range buf[:n] {
 					vf.observe(v, lastSeq)
@@ -215,6 +326,101 @@ func RunBatch(q queueapi.Queue, cfg Config, batch int) error {
 	}
 
 	wg.Wait()
+	return vf.finish()
+}
+
+// RunBlockingBatch drives a blocking queue whose handles implement
+// queueapi.BatchWaitable through parked SendMany/RecvMany and a
+// graceful Close, verifying the same properties as RunBlocking plus
+// the batch close contract: SendMany delivers whole batches before
+// the close, RecvMany never returns 0 values without an error, and at
+// close-drain the final values arrive as a partial batch with every
+// produced value still delivered exactly once.
+func RunBlockingBatch(q queueapi.Queue, cfg Config, batch int) error {
+	if batch < 1 {
+		return fmt.Errorf("checker: batch size %d < 1", batch)
+	}
+	closer, ok := q.(queueapi.Closer)
+	if !ok {
+		return fmt.Errorf("checker: %s does not implement queueapi.Closer", q.Name())
+	}
+
+	vf := newVerifier(cfg)
+	var producers, consumers sync.WaitGroup
+
+	batchHandle := func() (queueapi.BatchWaitable, error) {
+		w, err := queueapi.WaitableHandle(q)
+		if err != nil {
+			return nil, err
+		}
+		bw, ok := w.(queueapi.BatchWaitable)
+		if !ok {
+			return nil, fmt.Errorf("%s handle is not batch-blocking (no SendMany/RecvMany)", q.Name())
+		}
+		return bw, nil
+	}
+
+	for p := 0; p < cfg.Producers; p++ {
+		bw, err := batchHandle()
+		if err != nil {
+			return fmt.Errorf("producer handle: %w", err)
+		}
+		producers.Add(1)
+		go func(p int, bw queueapi.BatchWaitable) {
+			defer producers.Done()
+			buf := make([]uint64, 0, batch)
+			for i := 0; i < cfg.PerProducer; i += len(buf) {
+				buf = buf[:0]
+				for j := i; j < cfg.PerProducer && len(buf) < batch; j++ {
+					buf = append(buf, Encode(p, j))
+				}
+				n, err := bw.SendMany(buf)
+				if err != nil {
+					vf.report(fmt.Errorf("producer %d: SendMany: %w", p, err))
+					return
+				}
+				if n != len(buf) {
+					vf.report(fmt.Errorf("producer %d: SendMany delivered %d of %d without error", p, n, len(buf)))
+					return
+				}
+			}
+		}(p, bw)
+	}
+
+	for c := 0; c < cfg.Consumers; c++ {
+		bw, err := batchHandle()
+		if err != nil {
+			return fmt.Errorf("consumer handle: %w", err)
+		}
+		consumers.Add(1)
+		go func(bw queueapi.BatchWaitable) {
+			defer consumers.Done()
+			lastSeq := make(map[int]int, cfg.Producers)
+			out := make([]uint64, batch)
+			for {
+				n, err := bw.RecvMany(out)
+				if err != nil {
+					if !errors.Is(err, queueapi.ErrClosed) {
+						vf.report(fmt.Errorf("consumer: RecvMany: %w", err))
+					}
+					return
+				}
+				if n < 1 || n > len(out) {
+					vf.report(fmt.Errorf("RecvMany returned %d values with nil error", n))
+					return
+				}
+				for _, v := range out[:n] {
+					vf.observe(v, lastSeq)
+				}
+			}
+		}(bw)
+	}
+
+	producers.Wait()
+	if err := closer.Close(); err != nil {
+		return fmt.Errorf("checker: Close: %w", err)
+	}
+	consumers.Wait()
 	return vf.finish()
 }
 

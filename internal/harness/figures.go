@@ -27,6 +27,12 @@ type Figure struct {
 	// burst size at a fixed thread count (Threads[0]), and every point
 	// reports throughput AND peak live Footprint.
 	Bursts []int
+	// Batches makes this a batch-sweep figure (p2): the sweep axis is
+	// batch size at a fixed thread count (Threads[0]). Batch size 1 is
+	// the scalar loop; larger sizes drive the native batch reservation
+	// path. Mops stays per-element, so the column reads directly as
+	// the amortization win.
+	Batches []int
 }
 
 // Thread sweeps from the paper: x86 peaks at one 18-core socket then
@@ -55,6 +61,11 @@ var (
 	unboundedQueues = queues.UnboundedQueues() // keep the u1 line-up in lockstep with the registry
 	burstSizes      = []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}
 	burstRingCap    = uint64(1 << 10)
+	// batchQueues and batchSizes shape figure p2: every core with a
+	// native single-F&A batch reservation, swept from the scalar loop
+	// (batch 1) to far past the amortization knee.
+	batchQueues = []string{"wCQ", "SCQ", "Sharded", "UWCQ"}
+	batchSizes  = []int{1, 8, 32, 128}
 )
 
 // Figures returns every figure of the evaluation in paper order.
@@ -93,6 +104,11 @@ func Figures() []Figure {
 		// reports both throughput and peak memory per point.
 		{ID: "u1", Title: "Unbounded burst/drain: throughput and peak footprint vs burst size", Workload: Pairwise,
 			Threads: []int{4}, Mode: atomicx.NativeFAA, Queues: unboundedQueues, Bursts: burstSizes},
+		// Native batch reservation: per-element throughput vs batch
+		// size. Batch 1 is the scalar path; the larger sizes pay one
+		// Head/Tail F&A per batch instead of one per element.
+		{ID: "p2", Title: "Native batch reservation: per-element throughput vs batch size (Mops/s)", Workload: Pairwise,
+			Threads: []int{4}, Mode: atomicx.NativeFAA, Queues: batchQueues, Batches: batchSizes},
 	}
 }
 
@@ -144,6 +160,9 @@ func (f Figure) Run(opts RunOpts) []Point {
 	if len(f.Bursts) > 0 {
 		return f.runBursts(opts, qs)
 	}
+	if len(f.Batches) > 0 {
+		return f.runBatches(opts, qs)
+	}
 	var pts []Point
 	for _, name := range qs {
 		for _, th := range f.Threads {
@@ -177,10 +196,10 @@ func (f Figure) Run(opts RunOpts) []Point {
 	return pts
 }
 
-// burstThreads is the fixed thread count a burst figure runs at:
-// Threads[0], clamped by -maxthreads. Run and Render share it so the
-// header never mislabels a truncated run.
-func (f Figure) burstThreads(opts RunOpts) int {
+// fixedThreads is the fixed thread count a burst or batch figure runs
+// at: Threads[0], clamped by -maxthreads. Run and Render share it so
+// the header never mislabels a truncated run.
+func (f Figure) fixedThreads(opts RunOpts) int {
 	threads := f.Threads[0]
 	if opts.MaxThreads > 0 && threads > opts.MaxThreads {
 		threads = opts.MaxThreads
@@ -192,7 +211,7 @@ func (f Figure) burstThreads(opts RunOpts) int {
 // a fixed thread count, and each point reports throughput plus the
 // peak live Footprint sampled at the top of the burst.
 func (f Figure) runBursts(opts RunOpts, qs []string) []Point {
-	threads := f.burstThreads(opts)
+	threads := f.fixedThreads(opts)
 	var pts []Point
 	for _, name := range qs {
 		for _, burst := range f.Bursts {
@@ -232,6 +251,70 @@ func (f Figure) runBursts(opts RunOpts, qs []string) []Point {
 	return pts
 }
 
+// runBatches executes a batch-sweep figure: the sweep axis is batch
+// size at a fixed thread count. Batch 1 drives the scalar loop (the
+// baseline); larger sizes drive the native batch reservation through
+// queueapi's Batcher fast path. Mops counts transferred elements, so
+// points are directly comparable across batch sizes.
+func (f Figure) runBatches(opts RunOpts, qs []string) []Point {
+	threads := f.fixedThreads(opts)
+	var pts []Point
+	for _, name := range qs {
+		for _, batch := range f.Batches {
+			cfg := queues.Config{
+				Capacity:   1 << 16,
+				MaxThreads: threads + 1,
+				Mode:       f.Mode,
+				Shards:     opts.Shards,
+				WCQOptions: opts.WCQ,
+			}
+			if opts.Capacity > 0 {
+				cfg.Capacity = opts.Capacity
+			}
+			if opts.Emulate {
+				cfg.Mode = atomicx.EmulatedFAA
+			}
+			pt := RunPoint(name, cfg, f.Workload, PointOpts{
+				Threads: threads,
+				Ops:     opts.Ops,
+				Reps:    opts.Reps,
+				Batch:   batch,
+			})
+			pt.Batch = batch
+			pts = append(pts, pt)
+		}
+	}
+	return pts
+}
+
+// FormatBatchPoints renders a batch figure's results: one row per
+// batch size, one throughput column per queue — the per-element
+// amortization curve of the native reservation path.
+func FormatBatchPoints(pts []Point, batches []int, queueNames []string) string {
+	byKey := map[string]Point{}
+	for _, p := range pts {
+		byKey[fmt.Sprintf("%s/%d", p.Queue, p.Batch)] = p
+	}
+	out := "batch"
+	for _, q := range queueNames {
+		out += fmt.Sprintf("\t%s", q)
+	}
+	out += "\n"
+	for _, b := range batches {
+		out += fmt.Sprintf("%d", b)
+		for _, q := range queueNames {
+			p, ok := byKey[fmt.Sprintf("%s/%d", q, b)]
+			if !ok || p.Err != nil {
+				out += "\tn/a"
+				continue
+			}
+			out += fmt.Sprintf("\t%.3f", p.Mops.Mean)
+		}
+		out += "\n"
+	}
+	return out
+}
+
 // Render writes the figure header and table to w.
 func (f Figure) Render(w io.Writer, pts []Point, opts RunOpts) {
 	opts = opts.withDefaults()
@@ -249,8 +332,13 @@ func (f Figure) Render(w io.Writer, pts []Point, opts RunOpts) {
 		qs = intersect(f.Queues, opts.Queues)
 	}
 	if len(f.Bursts) > 0 {
-		fmt.Fprintf(w, "Figure %s: %s (%d threads, %s)\n", f.ID, f.Title, f.burstThreads(opts), f.Mode)
+		fmt.Fprintf(w, "Figure %s: %s (%d threads, %s)\n", f.ID, f.Title, f.fixedThreads(opts), f.Mode)
 		io.WriteString(w, FormatBurstPoints(pts, f.Bursts, qs))
+		return
+	}
+	if len(f.Batches) > 0 {
+		fmt.Fprintf(w, "Figure %s: %s (%d threads, %s workload, %s)\n", f.ID, f.Title, f.fixedThreads(opts), f.Workload, f.Mode)
+		io.WriteString(w, FormatBatchPoints(pts, f.Batches, qs))
 		return
 	}
 	fmt.Fprintf(w, "Figure %s: %s (%s workload, %s)\n", f.ID, f.Title, f.Workload, f.Mode)

@@ -70,11 +70,13 @@ type PointOpts struct {
 }
 
 // Point is one (queue, thread-count) measurement. Burst figures key
-// points by (queue, burst size) instead, at a fixed thread count.
+// points by (queue, burst size) and batch figures by (queue, batch
+// size) instead, at a fixed thread count.
 type Point struct {
 	Queue    string
 	Threads  int
 	Burst    int // burst size (burst figures only; 0 otherwise)
+	Batch    int // batch size (batch figures only; 0 otherwise)
 	Mops     stats.Summary
 	MemoryMB float64 // peak memory consumed (cumulative static + heap)
 	Err      error   // non-nil when the queue is unavailable (e.g. LCRQ under emulation)

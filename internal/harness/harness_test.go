@@ -51,10 +51,10 @@ func TestLCRQUnavailableProducesErrPoint(t *testing.T) {
 
 func TestFiguresComplete(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 12 {
-		t.Fatalf("have %d figures, want 12 (10a-12c + s1,s2 + b1 + u1)", len(figs))
+	if len(figs) != 13 {
+		t.Fatalf("have %d figures, want 13 (10a-12c + s1,s2 + b1 + u1 + p2)", len(figs))
 	}
-	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2", "b1", "u1"}
+	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2", "b1", "u1", "p2"}
 	for i, f := range figs {
 		if f.ID != want[i] {
 			t.Fatalf("figure %d is %q, want %q", i, f.ID, want[i])
@@ -208,6 +208,61 @@ func TestBurstFigureRunAndRender(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "Figure u1") || !strings.Contains(out, "peakMB") || !strings.Contains(out, "256") {
 		t.Fatalf("burst render malformed:\n%s", out)
+	}
+}
+
+func TestBatchFigure(t *testing.T) {
+	f, err := FigureByID("p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Batches) == 0 {
+		t.Fatal("figure p2 has no batch sweep")
+	}
+	if f.Batches[0] != 1 {
+		t.Fatal("figure p2 must include the scalar baseline (batch 1)")
+	}
+	for _, name := range []string{"wCQ", "SCQ", "Sharded", "UWCQ"} {
+		found := false
+		for _, q := range f.Queues {
+			if q == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("figure p2 missing %s", name)
+		}
+	}
+}
+
+func TestBatchFigureRunAndRender(t *testing.T) {
+	f, err := FigureByID("p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Batches = []int{1, 8} // scale the sweep down for CI
+	opts := RunOpts{Ops: 4000, Reps: 1, Queues: []string{"wCQ"}, Capacity: 1 << 10}
+	pts := f.Run(opts)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Err != nil {
+			t.Fatalf("%s/%d: %v", pt.Queue, pt.Batch, pt.Err)
+		}
+		if pt.Batch == 0 || pt.Mops.Mean <= 0 {
+			t.Fatalf("batch point underfilled: %+v", pt)
+		}
+	}
+	var sb strings.Builder
+	f.Render(&sb, pts, opts)
+	out := sb.String()
+	if !strings.Contains(out, "Figure p2") || !strings.Contains(out, "batch") || !strings.Contains(out, "wCQ") {
+		t.Fatalf("batch render malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 batch rows
+		t.Fatalf("unexpected table shape:\n%s", out)
 	}
 }
 

@@ -88,10 +88,11 @@ func WaitableHandle(q Queue) (Waitable, error) {
 }
 
 // Batcher is the optional batch extension of Handle. Queues that can
-// amortize per-operation overhead (shard selection, handle lookup)
-// implement it natively; everything else is served by the
-// EnqueueBatch/DequeueBatch fallbacks below, so harnesses can drive
-// batched workloads against any registered queue.
+// amortize per-operation overhead — a single fetch-and-add reserving
+// the whole batch on the ring cores, shard selection paid once on the
+// sharded composition — implement it natively; everything else is
+// served by the EnqueueBatch/DequeueBatch fallbacks below, so
+// harnesses can drive batched workloads against any registered queue.
 type Batcher interface {
 	// EnqueueBatch appends a prefix of vs in order and returns its
 	// length; a short count means the queue filled up mid-batch. The
@@ -101,6 +102,23 @@ type Batcher interface {
 	// DequeueBatch fills a prefix of out and returns its length; 0
 	// means the queue appeared empty.
 	DequeueBatch(out []uint64) int
+}
+
+// BatchWaitable is the optional batch extension of Waitable: blocking
+// sends and receives that move whole batches through the native
+// reservation path. SendMany parks until every value is buffered (the
+// returned count is the delivered prefix when interrupted by close or
+// cancellation); RecvMany parks until at least one value is available
+// and then returns what is there without waiting for more — at
+// close-drain the final values come back as a partial batch before
+// ErrClosed.
+type BatchWaitable interface {
+	// SendMany blocks until all of vs is buffered, in order; on error
+	// it returns how many values made it in.
+	SendMany(vs []uint64) (int, error)
+	// RecvMany blocks until at least one value is available and fills
+	// a prefix of out; it never returns 0 with a nil error.
+	RecvMany(out []uint64) (int, error)
 }
 
 // EnqueueBatch appends a prefix of vs through h, using the native

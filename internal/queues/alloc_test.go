@@ -1,0 +1,90 @@
+// Zero-allocation guard: "never allocates after construction" is a
+// headline claim of the paper's queues, and the native batch paths
+// must not quietly break it (scratch buffers, escape-analysis
+// regressions). testing.AllocsPerRun turns the claim into a
+// regression test for every ring-based core, on the scalar AND batch
+// hot paths. The unbounded queues are measured in steady state (no
+// ring turnover): the claim there is no allocation per operation, not
+// no allocation per ring rollover.
+package queues
+
+import (
+	"testing"
+
+	"repro/internal/queueapi"
+)
+
+// allocVariants lists the cores whose hot paths must be allocation
+// free. The external baselines (MSQueue, LCRQ, YMC, CRTurn) allocate
+// nodes/segments by design and are excluded, as are the Chan facades
+// (parking draws recycled waiters, but close bookkeeping is off the
+// claim's hot path).
+var allocVariants = []string{"wCQ", "SCQ", "Sharded", "LSCQ", "UWCQ"}
+
+func TestZeroAllocScalarHotPath(t *testing.T) {
+	for _, name := range allocVariants {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the path (first unbounded op touches its view cache).
+			if !h.Enqueue(1) {
+				t.Fatal("warmup enqueue failed")
+			}
+			h.Dequeue()
+			allocs := testing.AllocsPerRun(200, func() {
+				h.Enqueue(42)
+				h.Dequeue()
+			})
+			if allocs != 0 {
+				t.Fatalf("scalar enqueue/dequeue pair allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestZeroAllocBatchHotPath(t *testing.T) {
+	const batch = 8
+	for _, name := range allocVariants {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, ok := h.(queueapi.Batcher)
+			if !ok {
+				t.Fatalf("%s handle has no native Batcher", name)
+			}
+			in := make([]uint64, batch)
+			out := make([]uint64, batch)
+			for i := range in {
+				in[i] = uint64(i)
+			}
+			// Warm the path (wCQ handles grow their index scratch once).
+			if n := b.EnqueueBatch(in); n != batch {
+				t.Fatalf("warmup EnqueueBatch = %d", n)
+			}
+			if n := b.DequeueBatch(out); n != batch {
+				t.Fatalf("warmup DequeueBatch = %d", n)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				b.EnqueueBatch(in)
+				b.DequeueBatch(out)
+			})
+			if allocs != 0 {
+				t.Fatalf("batch enqueue/dequeue pair allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}

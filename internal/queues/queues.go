@@ -162,6 +162,11 @@ func (w *wcqQueue) Name() string      { return "wCQ" }
 func (h *wcqHandle) Enqueue(v uint64) bool   { return h.h.Enqueue(v) }
 func (h *wcqHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
 
+// EnqueueBatch/DequeueBatch expose wCQ's native queueapi.Batcher: one
+// reservation F&A per ring per fast-path batch.
+func (h *wcqHandle) EnqueueBatch(vs []uint64) int  { return h.h.EnqueueBatch(vs) }
+func (h *wcqHandle) DequeueBatch(out []uint64) int { return h.h.DequeueBatch(out) }
+
 // --- SCQ ---
 
 type scqQueue struct{ q *scq.Queue[uint64] }
@@ -184,6 +189,10 @@ func (w *scqQueue) Name() string                     { return "SCQ" }
 
 func (h *scqHandle) Enqueue(v uint64) bool   { return h.q.Enqueue(v) }
 func (h *scqHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
+
+// EnqueueBatch/DequeueBatch expose SCQ's native queueapi.Batcher.
+func (h *scqHandle) EnqueueBatch(vs []uint64) int  { return h.q.EnqueueBatch(vs) }
+func (h *scqHandle) DequeueBatch(out []uint64) int { return h.q.DequeueBatch(out) }
 
 // --- LCRQ ---
 
@@ -435,6 +444,24 @@ func (h *unboundedHandle) Dequeue() (uint64, bool) {
 	return v, ok
 }
 
+// EnqueueBatch exposes the unbounded native batch: the whole batch is
+// always absorbed (rings roll over), so it returns len(vs).
+func (h *unboundedHandle) EnqueueBatch(vs []uint64) int {
+	if err := h.h.EnqueueBatch(vs); err != nil {
+		panic("queues: unbounded batch enqueue invariant broken: " + err.Error())
+	}
+	return len(vs)
+}
+
+// DequeueBatch drains across ring boundaries in FIFO order.
+func (h *unboundedHandle) DequeueBatch(out []uint64) int {
+	n, err := h.h.DequeueBatch(out)
+	if err != nil {
+		panic("queues: unbounded batch dequeue invariant broken: " + err.Error())
+	}
+	return n
+}
+
 // --- Blocking Chan facades ---
 
 // chanQueue adapts the public wfqueue.Chan facade to queueapi. Its
@@ -498,8 +525,23 @@ func (h *chanHandle) Dequeue() (uint64, bool) {
 	return v, ok
 }
 
+// EnqueueBatch/DequeueBatch keep the nonblocking queueapi.Batcher
+// contract over the native batch reservation (TrySendMany/TryRecvMany).
+func (h *chanHandle) EnqueueBatch(vs []uint64) int {
+	n, _ := h.h.TrySendMany(vs)
+	return n
+}
+func (h *chanHandle) DequeueBatch(out []uint64) int {
+	n, _ := h.h.TryRecvMany(out)
+	return n
+}
+
 // The queueapi.Waitable blocking surface.
 func (h *chanHandle) Send(v uint64) error                         { return h.h.Send(v) }
 func (h *chanHandle) SendCtx(ctx context.Context, v uint64) error { return h.h.SendCtx(ctx, v) }
 func (h *chanHandle) Recv() (uint64, error)                       { return h.h.Recv() }
 func (h *chanHandle) RecvCtx(ctx context.Context) (uint64, error) { return h.h.RecvCtx(ctx) }
+
+// The queueapi.BatchWaitable blocking batch surface.
+func (h *chanHandle) SendMany(vs []uint64) (int, error)  { return h.h.SendMany(vs) }
+func (h *chanHandle) RecvMany(out []uint64) (int, error) { return h.h.RecvMany(out) }

@@ -321,9 +321,14 @@ func TestFootprintSemantics(t *testing.T) {
 }
 
 func TestMPMCBatched(t *testing.T) {
-	// Batched conformance: the Sharded queue exercises its native
-	// queueapi.Batcher, every other queue the generic fallback.
-	for _, name := range RealQueues() {
+	// Batched conformance across the whole registry (minus the FAA
+	// pseudo-queue, which is not a real FIFO): the queues with a native
+	// queueapi.Batcher — wCQ, SCQ, Sharded, LSCQ, UWCQ and every Chan
+	// facade — exercise the single-F&A reservation path, the baselines
+	// the generic fallback. RunBatch also asserts the batch atomicity
+	// and partial-success accounting contracts.
+	names := append(append([]string{}, RealQueues()...), BlockingQueues()...)
+	for _, name := range names {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			q, err := New(name, testCfg())
@@ -332,6 +337,56 @@ func TestMPMCBatched(t *testing.T) {
 			}
 			err = checker.RunBatch(q, checker.Config{
 				Producers: 3, Consumers: 3, PerProducer: 4000, Capacity: 256,
+			}, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestNativeBatchers pins which registry handles expose the native
+// queueapi.Batcher: every ring-based queue and facade in this
+// repository, i.e. everything but the paper's external baselines.
+func TestNativeBatchers(t *testing.T) {
+	native := []string{"wCQ", "SCQ", "Sharded", "LSCQ", "UWCQ",
+		"Chan", "ChanSCQ", "ChanSharded", "ChanUnbounded"}
+	for _, name := range native {
+		q, err := New(name, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := q.Handle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := h.(queueapi.Batcher); !ok {
+			t.Errorf("%s handle does not implement queueapi.Batcher", name)
+		}
+	}
+}
+
+// TestBlockingBatchConformance drives every Chan facade through the
+// blocking batch checker: parked SendMany/RecvMany, graceful Close,
+// and the partial batch at close-drain — with every value delivered
+// exactly once.
+func TestBlockingBatchConformance(t *testing.T) {
+	for _, name := range BlockingQueues() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, testCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := q.Handle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := h.(queueapi.BatchWaitable); !ok {
+				t.Fatalf("%s handle does not implement queueapi.BatchWaitable", name)
+			}
+			err = checker.RunBlockingBatch(q, checker.Config{
+				Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 256,
 			}, 16)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,157 @@
+package scq
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/atomicx"
+)
+
+// TestBatchSingleFAA pins the whole point of the native batch path:
+// one Tail F&A per fast-path enqueue batch and one Head F&A per
+// dequeue batch, counted via the CountingFAA mode.
+func TestBatchSingleFAA(t *testing.T) {
+	q, err := NewRing(256, atomicx.CountingFAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]uint64, 32)
+	for i := range in {
+		in[i] = uint64(i)
+	}
+	tail0, head0 := q.tail.Adds(), q.head.Adds()
+	q.EnqueueBatch(in)
+	if got := q.tail.Adds() - tail0; got != 1 {
+		t.Fatalf("EnqueueBatch(32) issued %d Tail F&As, want 1", got)
+	}
+	out := make([]uint64, 32)
+	if n := q.DequeueBatch(out); n != 32 {
+		t.Fatalf("DequeueBatch = %d, want 32", n)
+	}
+	if got := q.head.Adds() - head0; got != 1 {
+		t.Fatalf("DequeueBatch(32) issued %d Head F&As, want 1", got)
+	}
+	for i, v := range out {
+		if v != uint64(i) {
+			t.Fatalf("out[%d] = %d, want %d (batch not contiguous FIFO)", i, v, i)
+		}
+	}
+}
+
+// TestRingBatchFIFO verifies order and counts across repeated batches
+// that wrap the ring.
+func TestRingBatchFIFO(t *testing.T) {
+	q, err := NewRing(64, atomicx.NativeFAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := uint64(0)
+	expect := uint64(0)
+	out := make([]uint64, 48)
+	for round := 0; round < 50; round++ {
+		in := make([]uint64, 48)
+		for i := range in {
+			in[i] = next % (2 * 64)
+			next++
+		}
+		q.EnqueueBatch(in)
+		got := 0
+		for got < len(in) {
+			n := q.DequeueBatch(out[:len(in)-got])
+			for _, v := range out[:n] {
+				if v != expect%(2*64) {
+					t.Fatalf("round %d: got %d, want %d", round, v, expect%(2*64))
+				}
+				expect++
+			}
+			got += n
+		}
+	}
+}
+
+// TestQueueBatchConcurrent drives the payload-level batch ops under
+// real concurrency: exactly-once delivery and per-producer order.
+func TestQueueBatchConcurrent(t *testing.T) {
+	const (
+		producers   = 3
+		consumers   = 3
+		perProducer = 6000
+		batch       = 24
+	)
+	q, err := NewQueue[uint64](256, atomicx.NativeFAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	var consumed, total int
+	total = producers * perProducer
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buf := make([]uint64, 0, batch)
+			for i := 0; i < perProducer; {
+				buf = buf[:0]
+				for j := i; j < perProducer && len(buf) < batch; j++ {
+					buf = append(buf, uint64(p)<<32|uint64(j))
+				}
+				sent := 0
+				for sent < len(buf) {
+					n := q.EnqueueBatch(buf[sent:])
+					sent += n
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+				i += len(buf)
+			}
+		}(p)
+	}
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			out := make([]uint64, batch)
+			last := map[uint64]uint64{}
+			for {
+				mu.Lock()
+				done := consumed >= total
+				mu.Unlock()
+				if done {
+					return
+				}
+				n := q.DequeueBatch(out)
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				mu.Lock()
+				for _, v := range out[:n] {
+					p, seq := v>>32, v&0xffffffff
+					if prev, ok := last[p]; ok && seq <= prev {
+						t.Errorf("producer %d: seq %d after %d", p, seq, prev)
+					}
+					last[p] = seq
+					seen[v]++
+					consumed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cg.Wait()
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct values, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %#x delivered %d times", v, n)
+		}
+	}
+}

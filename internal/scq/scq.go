@@ -44,7 +44,7 @@ type Ring struct {
 	bottom  uint64 // ⊥  = 2n-2: slot empty, never consumed this cycle
 	bottomC uint64 // ⊥c = 2n-1: slot consumed
 	thresh3 int64  // 3n-1
-	emulate bool   // EmulatedFAA mode (PowerPC-style CAS loops)
+	emulate bool   // emulated-F&A modes (PowerPC-style CAS loops)
 
 	_         pad.Line
 	tail      atomicx.Counter
@@ -73,7 +73,7 @@ func NewRing(capacity uint64, mode atomicx.Mode) (*Ring, error) {
 		bottom:  nSlots - 2,
 		bottomC: nSlots - 1,
 		thresh3: int64(3*capacity - 1),
-		emulate: mode == atomicx.EmulatedFAA,
+		emulate: mode.Emulated(),
 		entries: make([]atomic.Uint64, nSlots),
 	}
 	q.tail.Init(mode, nSlots) // start at cycle 1 so entries at cycle 0 read "old"
@@ -161,14 +161,13 @@ func (q *Ring) entryOr(e *atomic.Uint64, bits uint64) {
 // dequeuer.
 func (q *Ring) Drained() bool { return q.head.Load() >= q.tail.Load() }
 
-// TryEnqueue performs one fast-path enqueue attempt (try_enq in
-// Fig. 3). On failure it returns the Tail ticket it consumed, which the
-// wait-free layer uses to seed its slow path; SCQ itself just retries.
-func (q *Ring) TryEnqueue(index uint64) (ticket uint64, ok bool) {
-	t := q.tail.Add(1)
+// enqueueAt runs the per-slot half of try_enq for an already-reserved
+// Tail ticket t: the slot examination and the entry CAS, without the
+// F&A and without the threshold reset (the callers own both, so the
+// batch path can amortize them across a whole reservation).
+func (q *Ring) enqueueAt(t, index uint64) bool {
 	tCycle := q.cycleOf(t)
-	j := ring.Remap(t&q.posMask, q.order)
-	e := &q.entries[j]
+	e := &q.entries[ring.Remap(t&q.posMask, q.order)]
 	for {
 		w := e.Load()
 		eCycle, safe, idx := q.unpack(w)
@@ -178,13 +177,30 @@ func (q *Ring) TryEnqueue(index uint64) (ticket uint64, ok bool) {
 			if !e.CompareAndSwap(w, q.pack(tCycle, 1, index)) {
 				continue // the entry changed; re-examine it
 			}
-			if q.threshold.Load() != q.thresh3 {
-				q.threshold.Store(q.thresh3)
-			}
-			return 0, true
+			return true
 		}
-		return t, false
+		return false
 	}
+}
+
+// resetThreshold performs the post-enqueue threshold reset (the load
+// avoids a shared write when the threshold is already pegged).
+func (q *Ring) resetThreshold() {
+	if q.threshold.Load() != q.thresh3 {
+		q.threshold.Store(q.thresh3)
+	}
+}
+
+// TryEnqueue performs one fast-path enqueue attempt (try_enq in
+// Fig. 3). On failure it returns the Tail ticket it consumed, which the
+// wait-free layer uses to seed its slow path; SCQ itself just retries.
+func (q *Ring) TryEnqueue(index uint64) (ticket uint64, ok bool) {
+	t := q.tail.Add(1)
+	if q.enqueueAt(t, index) {
+		q.resetThreshold()
+		return 0, true
+	}
+	return t, false
 }
 
 // Enqueue inserts index, retrying the fast path until it succeeds.
@@ -207,20 +223,23 @@ const (
 	deqEmpty
 )
 
-// TryDequeue performs one fast-path dequeue attempt (try_deq in
-// Fig. 3).
-func (q *Ring) tryDequeue() (ticket, index uint64, st deqStatus) {
-	h := q.head.Add(1)
+// dequeueAt runs the per-slot half of try_deq for an already-reserved
+// Head ticket h: the consume attempt, the slot transition that keeps a
+// passed position safe from late enqueuers, and the emptiness
+// accounting. Every reserved Head ticket MUST pass through here —
+// abandoning one without the slot transition would let a late
+// enqueuer of the same cycle publish a value at a position Head has
+// already passed, losing it.
+func (q *Ring) dequeueAt(h uint64) (index uint64, st deqStatus) {
 	hCycle := q.cycleOf(h)
-	j := ring.Remap(h&q.posMask, q.order)
-	e := &q.entries[j]
+	e := &q.entries[ring.Remap(h&q.posMask, q.order)]
 	for {
 		w := e.Load()
 		eCycle, safe, idx := q.unpack(w)
 		if eCycle == hCycle {
 			// consume: set the index bits to ⊥c, keep cycle/safe.
 			q.entryOr(e, q.bottomC)
-			return 0, idx, deqGot
+			return idx, deqGot
 		}
 		var nw uint64
 		if idx == q.bottom || idx == q.bottomC {
@@ -238,13 +257,21 @@ func (q *Ring) tryDequeue() (ticket, index uint64, st deqStatus) {
 		if t <= h+1 {
 			q.catchup(t, h+1)
 			q.thresholdFAA(-1)
-			return 0, 0, deqEmpty
+			return 0, deqEmpty
 		}
 		if q.thresholdFAA(-1) <= 0 {
-			return 0, 0, deqEmpty
+			return 0, deqEmpty
 		}
-		return h, 0, deqRetry
+		return 0, deqRetry
 	}
+}
+
+// tryDequeue performs one fast-path dequeue attempt (try_deq in
+// Fig. 3).
+func (q *Ring) tryDequeue() (ticket, index uint64, st deqStatus) {
+	h := q.head.Add(1)
+	index, st = q.dequeueAt(h)
+	return h, index, st
 }
 
 // Dequeue removes and returns the oldest index. ok is false when the
@@ -262,6 +289,92 @@ func (q *Ring) Dequeue() (index uint64, ok bool) {
 			return 0, false
 		}
 	}
+}
+
+// EnqueueBatch inserts the indices in order with a single Tail F&A
+// reserving len(indices) consecutive tickets, then fills each reserved
+// slot with the ordinary per-entry protocol (one uncontended CAS per
+// slot on the fast path). A reserved ticket whose slot is unusable is
+// abandoned exactly like a failed try_enq ticket; because the elements
+// after it would otherwise overtake it, the remaining elements degrade
+// to the scalar Enqueue loop in order, preserving per-caller FIFO.
+// Like Enqueue it never reports full (aq/fq index-ring discipline).
+//
+// The threshold is reset once per contiguous fast-path run instead of
+// once per element: the reserved tickets are consecutive, so once Head
+// reaches the run's first element it consumes the rest with successful
+// (non-decrementing) attempts — the first element's reset covers the
+// whole run, and the scalar degrade path resets per element as usual.
+func (q *Ring) EnqueueBatch(indices []uint64) {
+	k := len(indices)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		q.Enqueue(indices[0])
+		return
+	}
+	t0 := q.tail.Add(uint64(k))
+	thReset := false
+	for j, idx := range indices {
+		if !q.enqueueAt(t0+uint64(j), idx) {
+			// Unusable slot: the remaining reserved tickets are
+			// abandoned (safe — identical to failed try_enq tickets)
+			// and the rest of the batch takes the scalar path.
+			for _, v := range indices[j:] {
+				q.Enqueue(v)
+			}
+			return
+		}
+		if !thReset {
+			q.resetThreshold()
+			thReset = true
+		}
+	}
+}
+
+// DequeueBatch removes up to len(out) of the oldest indices with a
+// single Head F&A reserving a run of tickets sized to the visible
+// backlog, then runs the ordinary per-entry protocol on every reserved
+// ticket (each one must be processed — see dequeueAt). It returns how
+// many indices were written; 0 means the ring appeared empty.
+func (q *Ring) DequeueBatch(out []uint64) int {
+	if len(out) == 0 || q.threshold.Load() < 0 {
+		return 0
+	}
+	k := uint64(len(out))
+	// Clamp the reservation to the visible backlog so an almost-empty
+	// ring does not burn a run of empty-checking tickets. The snapshot
+	// is racy; over-reservation is handled by the per-ticket protocol.
+	t, h := q.tail.Load(), q.head.Load()
+	if t <= h {
+		idx, ok := q.Dequeue() // scalar probe with full empty accounting
+		if !ok {
+			return 0
+		}
+		out[0] = idx
+		return 1
+	}
+	if backlog := t - h; backlog < k {
+		k = backlog
+	}
+	if k == 1 {
+		idx, ok := q.Dequeue()
+		if !ok {
+			return 0
+		}
+		out[0] = idx
+		return 1
+	}
+	h0 := q.head.Add(k)
+	filled := 0
+	for j := uint64(0); j < k; j++ {
+		if idx, st := q.dequeueAt(h0 + j); st == deqGot {
+			out[filled] = idx
+			filled++
+		}
+	}
+	return filled
 }
 
 // catchup advances Tail to Head when dequeuers have overrun all
@@ -350,6 +463,70 @@ func (q *Queue[T]) EnqueueSealed(v T) bool {
 		return false
 	}
 	return q.Enqueue(v)
+}
+
+// batchChunk sizes the stack scratch the payload batch operations use
+// to carry index runs between fq, the data array and aq. Queue[T] has
+// no per-goroutine handle to hang a buffer off, and heap scratch would
+// break the "never allocates after construction" contract, so batches
+// are processed in chunks of this many indices (one ring F&A each).
+const batchChunk = 128
+
+// EnqueueBatch appends a prefix of vs in order and returns its length;
+// a short count means the queue filled up mid-batch. Index traffic
+// with fq/aq moves through the native ring batch operations, so a
+// chunk pays one F&A per ring instead of one per element.
+func (q *Queue[T]) EnqueueBatch(vs []T) int {
+	var buf [batchChunk]uint64
+	total := 0
+	for total < len(vs) {
+		c := min(len(vs)-total, batchChunk)
+		n := q.fq.DequeueBatch(buf[:c])
+		for j := 0; j < n; j++ {
+			q.data[buf[j]] = vs[total+j]
+		}
+		q.aq.EnqueueBatch(buf[:n])
+		total += n
+		if n < c {
+			break // fq ran dry: the queue is (transiently) full
+		}
+	}
+	return total
+}
+
+// DequeueBatch fills a prefix of out with the oldest values and
+// returns its length; 0 means the queue appeared empty.
+func (q *Queue[T]) DequeueBatch(out []T) int {
+	var buf [batchChunk]uint64
+	var zero T
+	total := 0
+	for total < len(out) {
+		c := min(len(out)-total, batchChunk)
+		n := q.aq.DequeueBatch(buf[:c])
+		for j := 0; j < n; j++ {
+			idx := buf[j]
+			out[total+j] = q.data[idx]
+			q.data[idx] = zero // drop references for GC hygiene
+		}
+		q.fq.EnqueueBatch(buf[:n])
+		total += n
+		if n < c {
+			break // aq appeared empty
+		}
+	}
+	return total
+}
+
+// EnqueueSealedBatch is EnqueueBatch unless the queue is sealed, in
+// which case it appends nothing (the unbounded construction's batch
+// enqueue rolls over to a fresh ring on a short count).
+func (q *Queue[T]) EnqueueSealedBatch(vs []T) int {
+	q.inflight.Add(1)
+	defer q.inflight.Add(-1)
+	if q.sealed.Load() {
+		return 0
+	}
+	return q.EnqueueBatch(vs)
 }
 
 // Dequeue removes and returns the oldest value. ok is false when the

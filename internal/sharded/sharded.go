@@ -33,9 +33,14 @@
 // # Batching
 //
 // EnqueueBatch/DequeueBatch amortize the per-operation handle and
-// shard-selection overhead: an enqueue batch pays the home-shard lookup
-// once, a dequeue batch drains runs of values from one shard before
-// rotating. They implement the queueapi.Batcher contract natively.
+// shard-selection overhead AND the underlying rings' reservation cost:
+// an enqueue batch pays the home-shard lookup once and hands the whole
+// batch to the shard's native ring batch (one Tail F&A per batch
+// instead of one per element); a dequeue batch drains chunk-sized runs
+// from one shard before rotating, each chunk one Head F&A. The
+// stealStride fairness bound is kept by counting every stolen value
+// against the cursor's streak. They implement the queueapi.Batcher
+// contract natively.
 package sharded
 
 import (
@@ -284,53 +289,50 @@ func (h *Handle[T]) steal() (v T, ok bool) {
 	return v, false
 }
 
-// EnqueueBatch appends vs in order to the home shard, stopping at the
-// first full rejection; it returns how many values were enqueued (a
-// prefix of vs, preserving per-handle FIFO order). The home shard is
-// resolved once for the whole batch.
+// EnqueueBatch appends a prefix of vs in order to the home shard
+// through the shard's native ring batch (one reservation F&A per
+// batch); it returns how many values were enqueued (a prefix of vs,
+// preserving per-handle FIFO order — a short count means the home
+// shard filled up). The home shard is resolved once for the whole
+// batch.
 func (h *Handle[T]) EnqueueBatch(vs []T) int {
 	if w := h.homeW; w != nil {
-		for i, v := range vs {
-			if !w.Enqueue(v) {
-				return i
-			}
-		}
-		return len(vs)
+		return w.EnqueueBatch(vs)
 	}
-	s := h.homeS
-	for i, v := range vs {
-		if !s.Enqueue(v) {
-			return i
-		}
-	}
-	return len(vs)
+	return h.homeS.EnqueueBatch(vs)
 }
 
-// DequeueBatch fills out with values: a draining run from the home
-// shard first, then stealing runs from the other shards round-robin
-// from the persistent cursor. It returns how many values were
-// written; 0 means home plus a full scan found all shards empty.
-func (h *Handle[T]) DequeueBatch(out []T) int {
-	filled := 0
-	if w := h.homeW; w != nil {
-		for filled < len(out) {
-			v, ok := w.Dequeue()
-			if !ok {
-				break
-			}
-			out[filled] = v
-			filled++
-		}
-	} else {
-		for filled < len(out) {
-			v, ok := h.homeS.Dequeue()
-			if !ok {
-				break
-			}
-			out[filled] = v
-			filled++
-		}
+// probeBatch is one native batch dequeue against shard s.
+func (h *Handle[T]) probeBatch(s int, out []T) int {
+	if h.ws != nil {
+		return h.ws[s].DequeueBatch(out)
 	}
+	return h.ss[s].DequeueBatch(out)
+}
+
+// drainInto repeatedly batch-dequeues shard s into out until out is
+// full or the shard appears empty, returning how many values were
+// written and whether the shard looked drained.
+func (h *Handle[T]) drainInto(s int, out []T) (n int, drained bool) {
+	for n < len(out) {
+		got := h.probeBatch(s, out[n:])
+		if got == 0 {
+			return n, true
+		}
+		n += got
+	}
+	return n, false
+}
+
+// DequeueBatch fills out with values: a draining run of native ring
+// batches from the home shard first, then stealing runs from the other
+// shards round-robin from the persistent cursor. Every stolen value
+// counts toward the cursor's streak, so the stealStride fairness bound
+// holds across batches exactly as it does for scalar steals. It
+// returns how many values were written; 0 means home plus a full scan
+// found all shards empty.
+func (h *Handle[T]) DequeueBatch(out []T) int {
+	filled, _ := h.drainInto(h.home, out)
 	start := h.cursor
 	for i := 0; i < h.n && filled < len(out); i++ {
 		s := start + i
@@ -340,20 +342,28 @@ func (h *Handle[T]) DequeueBatch(out []T) int {
 		if s == h.home {
 			continue // already drained
 		}
-		drained := false
-		for filled < len(out) {
-			v, ok := h.probe(s)
-			if !ok {
-				drained = true
-				break
-			}
-			out[filled] = v
-			filled++
-		}
+		n, drained := h.drainInto(s, out[filled:])
+		filled += n
 		if !drained {
-			h.cursor = s // buffer full, shard may have more
-			h.streak = 0
-		} else if filled > 0 {
+			// Buffer full mid-shard: the shard may have more. Stick to
+			// it, unless the accumulated streak exhausts the fairness
+			// bound, in which case rotate onward. The streak is
+			// per-shard, exactly as in the scalar steal(): a run from a
+			// shard other than the current cursor starts a fresh streak.
+			if s == h.cursor {
+				h.streak += n
+			} else {
+				h.streak = n
+			}
+			if h.streak >= stealStride {
+				h.streak = 0
+				s++
+				if s == h.n {
+					s = 0
+				}
+			}
+			h.cursor = s
+		} else if n > 0 {
 			next := s + 1
 			if next == h.n {
 				next = 0

@@ -43,7 +43,9 @@ const DefaultPoolRings = 4
 // ringView is one goroutine's access to one ring generation.
 type ringView[T any] interface {
 	EnqueueSealed(v T) bool
+	EnqueueSealedBatch(vs []T) int
 	Dequeue() (T, bool)
+	DequeueBatch(out []T) int
 }
 
 // ringCtl is the per-ring control interface used by the outer list.
@@ -410,6 +412,141 @@ func (h *Handle[T]) Dequeue() (v T, ok bool, err error) {
 	}
 }
 
+// EnqueueBatch appends vs in order, filling the current tail ring with
+// its native batch reservation and rolling over to a fresh ring with
+// the remainder on partial success — so a batch larger than one ring's
+// free space spans rings without losing its internal order. Like
+// Enqueue it always succeeds; the error is reserved for broken
+// invariants.
+func (h *Handle[T]) EnqueueBatch(vs []T) error {
+	q := h.q
+	sent := 0
+	for sent < len(vs) {
+		ltail := q.tail.Load()
+		ltail.pins.Add(1)
+		if ltail.retired.Load() {
+			// Same as the scalar path: help the stalled linker advance.
+			ltail.pins.Add(-1)
+			if next := ltail.next.Load(); next != nil {
+				q.tail.CompareAndSwap(ltail, next)
+			}
+			continue
+		}
+		if next := ltail.next.Load(); next != nil {
+			ltail.pins.Add(-1)
+			q.tail.CompareAndSwap(ltail, next)
+			continue
+		}
+		view, err := h.view(ltail.r)
+		if err != nil {
+			ltail.pins.Add(-1)
+			return err
+		}
+		if n := view.EnqueueSealedBatch(vs[sent:]); n > 0 {
+			sent += n
+			if sent == len(vs) {
+				ltail.pins.Add(-1)
+				return nil
+			}
+		}
+		// Full or finalized mid-batch: seal it and append a fresh ring
+		// seeded with as much of the remainder as fits.
+		ltail.r.Seal()
+		nr, err := q.takeRing()
+		if err != nil {
+			ltail.pins.Add(-1)
+			return err
+		}
+		nv, err := h.view(nr)
+		if err != nil {
+			q.pool.unmarkInflight(nr) // don't leak the taken ring
+			ltail.pins.Add(-1)
+			return err
+		}
+		m := nv.EnqueueSealedBatch(vs[sent:])
+		if m == 0 {
+			q.pool.unmarkInflight(nr)
+			ltail.pins.Add(-1)
+			return fmt.Errorf("unbounded: fresh ring rejected batch enqueue")
+		}
+		nn := &node[T]{r: nr}
+		if ltail.next.CompareAndSwap(nil, nn) {
+			q.tail.CompareAndSwap(ltail, nn)
+			q.linkRing(nr)
+			ltail.pins.Add(-1)
+			sent += m
+			continue // a batch larger than a ring keeps rolling
+		}
+		// Lost the append race: reclaim the seeds (the ring was never
+		// linked, so this handle still owns it exclusively) and park
+		// the ring for reuse, then retry with the winner's ring.
+		for j := 0; j < m; j++ {
+			nv.Dequeue()
+		}
+		q.returnRing(nr)
+		ltail.pins.Add(-1)
+	}
+	return nil
+}
+
+// DequeueBatch fills a prefix of out with the oldest values, draining
+// across ring boundaries (a drained head ring is retired and the scan
+// continues on its successor) without reordering — ring G is drained
+// before any value of ring G+1 is taken, so FIFO survives the batch.
+// It returns how many values were written; 0 means the whole queue
+// appeared empty. A batch cut short by a ring whose producers are
+// still in flight returns the partial prefix instead of spinning.
+func (h *Handle[T]) DequeueBatch(out []T) (int, error) {
+	q := h.q
+	filled := 0
+	for filled < len(out) {
+		lhead := q.head.Load()
+		lhead.pins.Add(1)
+		if lhead.retired.Load() {
+			lhead.pins.Add(-1)
+			continue
+		}
+		view, verr := h.view(lhead.r)
+		if verr != nil {
+			lhead.pins.Add(-1)
+			return filled, verr
+		}
+		if n := view.DequeueBatch(out[filled:]); n > 0 {
+			filled += n
+			lhead.pins.Add(-1)
+			continue
+		}
+		next := lhead.next.Load()
+		if next == nil {
+			lhead.pins.Add(-1)
+			return filled, nil // no successor: nothing more buffered
+		}
+		if !lhead.r.Drained() {
+			lhead.pins.Add(-1)
+			if filled > 0 {
+				return filled, nil // partial batch beats spinning on in-flight enqueues
+			}
+			continue
+		}
+		// One more look after the drain barrier, then advance (the same
+		// in-flight marking protocol as the scalar Dequeue).
+		if n := view.DequeueBatch(out[filled:]); n > 0 {
+			filled += n
+			lhead.pins.Add(-1)
+			continue
+		}
+		q.pool.markInflight(lhead.r)
+		advanced := q.head.CompareAndSwap(lhead, next)
+		lhead.pins.Add(-1)
+		if advanced {
+			q.retire(lhead)
+		} else {
+			q.pool.unmarkInflight(lhead.r)
+		}
+	}
+	return filled, nil
+}
+
 // retire runs on the dequeuer that advanced head past n (which marked
 // n.r in flight before its CAS): mark the node retired, then recycle
 // its ring only if no straggler holds a pin (see the node comment for
@@ -523,8 +660,10 @@ func (c scqCtl[T]) View() (ringView[T], error) {
 
 type scqView[T any] struct{ q *scq.Queue[T] }
 
-func (v scqView[T]) EnqueueSealed(x T) bool { return v.q.EnqueueSealed(x) }
-func (v scqView[T]) Dequeue() (T, bool)     { return v.q.Dequeue() }
+func (v scqView[T]) EnqueueSealed(x T) bool        { return v.q.EnqueueSealed(x) }
+func (v scqView[T]) EnqueueSealedBatch(xs []T) int { return v.q.EnqueueSealedBatch(xs) }
+func (v scqView[T]) Dequeue() (T, bool)            { return v.q.Dequeue() }
+func (v scqView[T]) DequeueBatch(out []T) int      { return v.q.DequeueBatch(out) }
 
 type wcqCtl[T any] struct{ q *wcq.Queue[T] }
 
@@ -542,5 +681,7 @@ func (c wcqCtl[T]) View() (ringView[T], error) {
 
 type wcqView[T any] struct{ h *wcq.QueueHandle[T] }
 
-func (v wcqView[T]) EnqueueSealed(x T) bool { return v.h.EnqueueSealed(x) }
-func (v wcqView[T]) Dequeue() (T, bool)     { return v.h.Dequeue() }
+func (v wcqView[T]) EnqueueSealed(x T) bool        { return v.h.EnqueueSealed(x) }
+func (v wcqView[T]) EnqueueSealedBatch(xs []T) int { return v.h.EnqueueSealedBatch(xs) }
+func (v wcqView[T]) Dequeue() (T, bool)            { return v.h.Dequeue() }
+func (v wcqView[T]) DequeueBatch(out []T) int      { return v.h.DequeueBatch(out) }

@@ -26,6 +26,19 @@ type QueueHandle[T any] struct {
 	q   *Queue[T]
 	aqh *Handle
 	fqh *Handle
+	// idxBuf carries index runs between fq, the data array and aq in
+	// the batch operations. It grows to the largest batch this handle
+	// has seen and is then reused forever, so the steady-state batch
+	// hot path allocates nothing.
+	idxBuf []uint64
+}
+
+// scratch returns the handle's index buffer, grown to hold n entries.
+func (h *QueueHandle[T]) scratch(n int) []uint64 {
+	if cap(h.idxBuf) < n {
+		h.idxBuf = make([]uint64, n)
+	}
+	return h.idxBuf[:n]
 }
 
 // NewQueue returns an empty Queue holding up to capacity values,
@@ -81,6 +94,56 @@ func (h *QueueHandle[T]) Dequeue() (v T, ok bool) {
 	h.q.data[idx] = zero // release references before recycling the slot
 	h.fqh.Enqueue(idx)
 	return v, true
+}
+
+// EnqueueBatch appends a prefix of vs in order and returns its length;
+// a short count means the queue filled up mid-batch. Index traffic
+// with fq/aq moves through the native wait-free ring batches, so the
+// fast path pays one F&A per ring per batch instead of one per
+// element. The operation is wait-free (two bounded ring batches).
+func (h *QueueHandle[T]) EnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	buf := h.scratch(len(vs))
+	n := h.fqh.DequeueBatch(buf)
+	for j := 0; j < n; j++ {
+		h.q.data[buf[j]] = vs[j]
+	}
+	h.aqh.EnqueueBatch(buf[:n])
+	return n
+}
+
+// DequeueBatch fills a prefix of out with the oldest values and
+// returns its length; 0 means the queue appeared empty. Wait-free
+// like EnqueueBatch.
+func (h *QueueHandle[T]) DequeueBatch(out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	buf := h.scratch(len(out))
+	n := h.aqh.DequeueBatch(buf)
+	var zero T
+	for j := 0; j < n; j++ {
+		idx := buf[j]
+		out[j] = h.q.data[idx]
+		h.q.data[idx] = zero // release references before recycling the slot
+	}
+	h.fqh.EnqueueBatch(buf[:n])
+	return n
+}
+
+// EnqueueSealedBatch is EnqueueBatch unless the queue is sealed, in
+// which case it appends nothing (the unbounded construction's batch
+// enqueue rolls over to a fresh ring on a short count).
+func (h *QueueHandle[T]) EnqueueSealedBatch(vs []T) int {
+	q := h.q
+	q.inflight.Add(1)
+	defer q.inflight.Add(-1)
+	if q.sealed.Load() {
+		return 0
+	}
+	return h.EnqueueBatch(vs)
 }
 
 // Seal closes the queue for enqueues (the appendix's finalize_wCQ):

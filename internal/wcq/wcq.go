@@ -89,7 +89,7 @@ func NewRing(capacity uint64, maxThreads int, opts *Options) (*Ring, error) {
 		lay:       lay,
 		n:         capacity,
 		thresh3:   int64(3*capacity - 1),
-		emulate:   o.Mode == atomicx.EmulatedFAA,
+		emulate:   o.Mode.Emulated(),
 		opts:      o,
 		entries:   make([]atomic.Uint64, lay.nSlots),
 		recs:      make([]record, maxThreads),
@@ -213,12 +213,12 @@ func (q *Ring) finalizeRequest(h uint64, selfTid int) {
 	}
 }
 
-// tryEnqueue is the fast path (try_enq, Fig. 3, with the Enq bit set in
-// one step and the Note field preserved). On failure it returns the
-// consumed Tail ticket to seed the slow path.
-func (q *Ring) tryEnqueue(index uint64) (ticket uint64, ok bool) {
+// enqueueAt runs the per-slot half of try_enq for an already-reserved
+// Tail ticket t: the slot examination and the entry CAS, without the
+// F&A and without the threshold reset (the callers own both, so the
+// batch path can amortize them across a whole reservation).
+func (q *Ring) enqueueAt(t, index uint64) bool {
 	l := &q.lay
-	t := globalCnt(q.tail.Add(1))
 	tCycle := l.cycleOf(t)
 	e := &q.entries[ring.Remap(t&l.posMask, l.order)]
 	for {
@@ -231,13 +231,30 @@ func (q *Ring) tryEnqueue(index uint64) (ticket uint64, ok bool) {
 			if !e.CompareAndSwap(w, nw) {
 				continue
 			}
-			if q.threshold.Load() != q.thresh3 {
-				q.threshold.Store(q.thresh3)
-			}
-			return 0, true
+			return true
 		}
-		return t, false
+		return false
 	}
+}
+
+// resetThreshold performs the post-enqueue threshold reset (the load
+// avoids a shared write when the threshold is already pegged).
+func (q *Ring) resetThreshold() {
+	if q.threshold.Load() != q.thresh3 {
+		q.threshold.Store(q.thresh3)
+	}
+}
+
+// tryEnqueue is the fast path (try_enq, Fig. 3, with the Enq bit set in
+// one step and the Note field preserved). On failure it returns the
+// consumed Tail ticket to seed the slow path.
+func (q *Ring) tryEnqueue(index uint64) (ticket uint64, ok bool) {
+	t := globalCnt(q.tail.Add(1))
+	if q.enqueueAt(t, index) {
+		q.resetThreshold()
+		return 0, true
+	}
+	return t, false
 }
 
 // counterRef aliases the packed global counter type used by slow.go.
@@ -251,12 +268,15 @@ const (
 	deqEmpty
 )
 
-// tryDequeue is the fast path (try_deq, Fig. 3 adapted per Fig. 5:
-// consume finalizes Enq=0 producers; Note and Enq are preserved by the
-// transition CASes).
-func (q *Ring) tryDequeue(selfTid int) (ticket, index uint64, st deqStatus) {
+// dequeueAt runs the per-slot half of try_deq for an already-reserved
+// Head ticket h: the consume attempt, the slot transition that keeps a
+// passed position safe from late enqueuers, and the emptiness
+// accounting. Every reserved Head ticket MUST pass through here —
+// abandoning one without the slot transition would let a late
+// enqueuer of the same cycle publish a value at a position Head has
+// already passed, losing it.
+func (q *Ring) dequeueAt(h uint64, selfTid int) (index uint64, st deqStatus) {
 	l := &q.lay
-	h := globalCnt(q.head.Add(1))
 	hCycle := l.cycleOf(h)
 	e := &q.entries[ring.Remap(h&l.posMask, l.order)]
 	for {
@@ -264,7 +284,7 @@ func (q *Ring) tryDequeue(selfTid int) (ticket, index uint64, st deqStatus) {
 		ent := l.unpack(w)
 		if ent.cycle == hCycle {
 			q.consume(h, e, w, selfTid)
-			return 0, ent.index, deqGot
+			return ent.index, deqGot
 		}
 		var nw uint64
 		if ent.index == l.bottom || ent.index == l.bottomC {
@@ -281,13 +301,22 @@ func (q *Ring) tryDequeue(selfTid int) (ticket, index uint64, st deqStatus) {
 		if t <= h+1 {
 			q.catchup(t, h+1)
 			q.thresholdFAA(-1)
-			return 0, 0, deqEmpty
+			return 0, deqEmpty
 		}
 		if q.thresholdFAA(-1) <= 0 {
-			return 0, 0, deqEmpty
+			return 0, deqEmpty
 		}
-		return h, 0, deqRetry
+		return 0, deqRetry
 	}
+}
+
+// tryDequeue is the fast path (try_deq, Fig. 3 adapted per Fig. 5:
+// consume finalizes Enq=0 producers; Note and Enq are preserved by the
+// transition CASes).
+func (q *Ring) tryDequeue(selfTid int) (ticket, index uint64, st deqStatus) {
+	h := globalCnt(q.head.Add(1))
+	index, st = q.dequeueAt(h, selfTid)
+	return h, index, st
 }
 
 // catchup advances the Tail counter to head when dequeuers overran all
@@ -326,7 +355,8 @@ func (h *Handle) Enqueue(index uint64) {
 	q, r := h.q, h.r
 	q.helpThreads(r)
 	var ticket uint64
-	for i := 0; i < q.opts.EnqPatience; i++ {
+	patience := q.opts.EnqPatience // hoisted: one field load per op, not per attempt
+	for i := 0; i < patience; i++ {
 		t, ok := q.tryEnqueue(index)
 		if ok {
 			return
@@ -355,7 +385,8 @@ func (h *Handle) Dequeue() (index uint64, ok bool) {
 	}
 	q.helpThreads(r)
 	var ticket uint64
-	for i := 0; i < q.opts.DeqPatience; i++ {
+	patience := q.opts.DeqPatience // hoisted: one field load per op, not per attempt
+	for i := 0; i < patience; i++ {
 		t, idx, st := q.tryDequeue(r.tid)
 		switch st {
 		case deqGot:
@@ -386,6 +417,96 @@ func (h *Handle) Dequeue() (index uint64, ok bool) {
 		return ent.index, true
 	}
 	return 0, false
+}
+
+// EnqueueBatch inserts the indices in order with a single Tail F&A
+// reserving len(indices) consecutive tickets, then fills each reserved
+// slot with the ordinary per-entry protocol (one uncontended CAS per
+// slot on the fast path). A reserved ticket whose slot is unusable is
+// abandoned exactly like a failed try_enq ticket, and the remaining
+// elements degrade to the scalar Enqueue in order (fast path with
+// patience, then the helped slow path), so the whole batch stays
+// wait-free: at most k slot attempts plus k wait-free scalar
+// enqueues. Like Enqueue it never reports full (aq/fq discipline).
+//
+// The threshold is reset once per contiguous fast-path run instead of
+// once per element: the reserved tickets are consecutive, so once Head
+// reaches the run's first element it consumes the rest with successful
+// (non-decrementing) attempts — the first element's reset covers the
+// whole run, and the degrade path resets per element as usual.
+func (h *Handle) EnqueueBatch(indices []uint64) {
+	k := len(indices)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		h.Enqueue(indices[0])
+		return
+	}
+	q, r := h.q, h.r
+	t0 := globalCnt(q.tail.Add(uint64(k)))
+	thReset := false
+	for j, idx := range indices {
+		q.helpThreads(r) // keep the helping cadence of k scalar ops
+		if !q.enqueueAt(t0+uint64(j), idx) {
+			for _, v := range indices[j:] {
+				h.Enqueue(v)
+			}
+			return
+		}
+		if !thReset {
+			q.resetThreshold()
+			thReset = true
+		}
+	}
+}
+
+// DequeueBatch removes up to len(out) of the oldest indices with a
+// single Head F&A reserving a run of tickets sized to the visible
+// backlog, then runs the ordinary per-entry protocol on every reserved
+// ticket (each one must be processed — see dequeueAt). It returns how
+// many indices were written; 0 means the ring appeared empty. The
+// batch is wait-free by construction: exactly k bounded per-ticket
+// protocols, no retry loop.
+func (h *Handle) DequeueBatch(out []uint64) int {
+	q, r := h.q, h.r
+	if len(out) == 0 || q.threshold.Load() < 0 {
+		return 0
+	}
+	k := uint64(len(out))
+	// Clamp the reservation to the visible backlog so an almost-empty
+	// ring does not burn a run of empty-checking tickets. The snapshot
+	// is racy; over-reservation is handled by the per-ticket protocol.
+	t, hd := q.tailCnt(), q.headCnt()
+	if t <= hd {
+		idx, ok := h.Dequeue() // scalar probe with full empty accounting
+		if !ok {
+			return 0
+		}
+		out[0] = idx
+		return 1
+	}
+	if backlog := t - hd; backlog < k {
+		k = backlog
+	}
+	if k == 1 {
+		idx, ok := h.Dequeue()
+		if !ok {
+			return 0
+		}
+		out[0] = idx
+		return 1
+	}
+	h0 := globalCnt(q.head.Add(k))
+	filled := 0
+	for j := uint64(0); j < k; j++ {
+		q.helpThreads(r)
+		if idx, st := q.dequeueAt(h0+j, r.tid); st == deqGot {
+			out[filled] = idx
+			filled++
+		}
+	}
+	return filled
 }
 
 // helpThreads periodically scans for pending help requests (Fig. 6).

@@ -155,3 +155,25 @@ func (h *UnboundedHandle[T]) Dequeue() (v T, ok bool) {
 	}
 	return v, ok
 }
+
+// EnqueueBatch appends vs in order. It always enqueues the whole
+// batch — the current ring absorbs what fits in one reservation and
+// the remainder rolls over to fresh rings — and returns len(vs) for
+// symmetry with the bounded queues' batch contract.
+func (h *UnboundedHandle[T]) EnqueueBatch(vs []T) int {
+	if err := h.h.EnqueueBatch(vs); err != nil {
+		panic("wfqueue: unbounded batch enqueue invariant broken: " + err.Error())
+	}
+	return len(vs)
+}
+
+// DequeueBatch fills a prefix of out with the oldest values, draining
+// across ring boundaries in FIFO order, and returns its length; 0
+// means the queue appeared empty.
+func (h *UnboundedHandle[T]) DequeueBatch(out []T) int {
+	n, err := h.h.DequeueBatch(out)
+	if err != nil {
+		panic("wfqueue: unbounded batch dequeue invariant broken: " + err.Error())
+	}
+	return n
+}

@@ -171,6 +171,17 @@ func (h *Handle[T]) Enqueue(v T) bool { return h.h.Enqueue(v) }
 // steps.
 func (h *Handle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
 
+// EnqueueBatch appends a prefix of vs in order and returns its length
+// (a short count means the queue filled up mid-batch). The fast path
+// reserves the whole batch with one fetch-and-add per underlying ring
+// instead of one per element; the operation stays wait-free.
+func (h *Handle[T]) EnqueueBatch(vs []T) int { return h.h.EnqueueBatch(vs) }
+
+// DequeueBatch fills a prefix of out with the oldest values and
+// returns its length; 0 means the queue appeared empty. One
+// reservation fetch-and-add per ring on the fast path; wait-free.
+func (h *Handle[T]) DequeueBatch(out []T) int { return h.h.DequeueBatch(out) }
+
 // Ring is a bounded wait-free MPMC queue of indices in [0, Cap()) —
 // the raw wCQ ring, useful as a free-list/allocation pool (the aq/fq
 // pattern of the paper's Figure 2).
@@ -249,6 +260,16 @@ func (q *LockFreeQueue[T]) Enqueue(v T) bool { return q.q.Enqueue(v) }
 
 // Dequeue removes the oldest value; ok is false when empty.
 func (q *LockFreeQueue[T]) Dequeue() (T, bool) { return q.q.Dequeue() }
+
+// EnqueueBatch appends a prefix of vs in order and returns its length
+// (a short count means the queue filled up mid-batch). Batches are
+// reserved with one fetch-and-add per ring per chunk instead of one
+// per element. Safe for any goroutine, like Enqueue.
+func (q *LockFreeQueue[T]) EnqueueBatch(vs []T) int { return q.q.EnqueueBatch(vs) }
+
+// DequeueBatch fills a prefix of out with the oldest values and
+// returns its length; 0 means the queue appeared empty.
+func (q *LockFreeQueue[T]) DequeueBatch(out []T) int { return q.q.DequeueBatch(out) }
 
 // Cap returns the queue capacity.
 func (q *LockFreeQueue[T]) Cap() uint64 { return q.q.Cap() }
