@@ -39,6 +39,41 @@ func TestBatchSingleFAA(t *testing.T) {
 	}
 }
 
+// TestDequeueBatchAbandonedRun pins the "0 means empty" contract in
+// the state a partially-degraded EnqueueBatch leaves behind: a run of
+// reserved-then-abandoned Tail tickets ahead of real values. A batch
+// reservation landing entirely on the abandoned run sees only
+// transient (retry) tickets; returning 0 there would read as "empty"
+// to Chan's parking receivers and strand them with values buffered,
+// so DequeueBatch must instead deliver at least one value.
+func TestDequeueBatchAbandonedRun(t *testing.T) {
+	q, err := NewRing(64, atomicx.NativeFAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve and abandon 4 consecutive Tail tickets — exactly the
+	// state the EnqueueBatch degrade path produces when a reserved
+	// slot turns out unusable.
+	q.tail.Add(4)
+	const vals = 8
+	for i := uint64(0); i < vals; i++ {
+		q.Enqueue(i)
+	}
+	out := make([]uint64, 4)
+	for expect := uint64(0); expect < vals; {
+		n := q.DequeueBatch(out)
+		if n == 0 {
+			t.Fatalf("DequeueBatch returned 0 with %d values buffered", vals-expect)
+		}
+		for _, v := range out[:n] {
+			if v != expect {
+				t.Fatalf("got %d, want %d", v, expect)
+			}
+			expect++
+		}
+	}
+}
+
 // TestRingBatchFIFO verifies order and counts across repeated batches
 // that wrap the ring.
 func TestRingBatchFIFO(t *testing.T) {

@@ -337,7 +337,10 @@ func (q *Ring) EnqueueBatch(indices []uint64) {
 // single Head F&A reserving a run of tickets sized to the visible
 // backlog, then runs the ordinary per-entry protocol on every reserved
 // ticket (each one must be processed — see dequeueAt). It returns how
-// many indices were written; 0 means the ring appeared empty.
+// many indices were written; 0 means the ring appeared empty. That
+// contract is load-bearing (Chan parks on it), so when every reserved
+// ticket lands in a transient retry state the batch falls back to the
+// scalar Dequeue rather than reporting a spurious 0.
 func (q *Ring) DequeueBatch(out []uint64) int {
 	if len(out) == 0 || q.threshold.Load() < 0 {
 		return 0
@@ -368,10 +371,24 @@ func (q *Ring) DequeueBatch(out []uint64) int {
 	}
 	h0 := q.head.Add(k)
 	filled := 0
+	sawRetry := false
 	for j := uint64(0); j < k; j++ {
-		if idx, st := q.dequeueAt(h0 + j); st == deqGot {
+		switch idx, st := q.dequeueAt(h0 + j); st {
+		case deqGot:
 			out[filled] = idx
 			filled++
+		case deqRetry:
+			sawRetry = true
+		}
+	}
+	if filled == 0 && sawRetry {
+		// Every reserved ticket hit a transient state (e.g. the run of
+		// tickets abandoned by a partially-degraded EnqueueBatch) while
+		// values may sit at later tickets. The scalar path retries until
+		// it consumes a value or proves emptiness, so 0 stays "empty".
+		if idx, ok := q.Dequeue(); ok {
+			out[0] = idx
+			return 1
 		}
 	}
 	return filled

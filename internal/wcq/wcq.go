@@ -465,9 +465,12 @@ func (h *Handle) EnqueueBatch(indices []uint64) {
 // single Head F&A reserving a run of tickets sized to the visible
 // backlog, then runs the ordinary per-entry protocol on every reserved
 // ticket (each one must be processed — see dequeueAt). It returns how
-// many indices were written; 0 means the ring appeared empty. The
-// batch is wait-free by construction: exactly k bounded per-ticket
-// protocols, no retry loop.
+// many indices were written; 0 means the ring appeared empty. That
+// contract is load-bearing (Chan parks on it), so when every reserved
+// ticket lands in a transient retry state the batch falls back to one
+// scalar Dequeue rather than reporting a spurious 0. The batch stays
+// wait-free by construction: exactly k bounded per-ticket protocols
+// plus at most one wait-free scalar Dequeue.
 func (h *Handle) DequeueBatch(out []uint64) int {
 	q, r := h.q, h.r
 	if len(out) == 0 || q.threshold.Load() < 0 {
@@ -499,11 +502,27 @@ func (h *Handle) DequeueBatch(out []uint64) int {
 	}
 	h0 := globalCnt(q.head.Add(k))
 	filled := 0
+	sawRetry := false
 	for j := uint64(0); j < k; j++ {
 		q.helpThreads(r)
-		if idx, st := q.dequeueAt(h0+j, r.tid); st == deqGot {
+		switch idx, st := q.dequeueAt(h0+j, r.tid); st {
+		case deqGot:
 			out[filled] = idx
 			filled++
+		case deqRetry:
+			sawRetry = true
+		}
+	}
+	if filled == 0 && sawRetry {
+		// Every reserved ticket hit a transient state (e.g. the run of
+		// tickets abandoned by a partially-degraded EnqueueBatch) while
+		// values may sit at later tickets. The scalar Dequeue (patience
+		// fast path, then the helped slow path) either consumes a value
+		// or proves emptiness, so 0 stays "empty" — and it is wait-free,
+		// so the batch bound only grows by one scalar operation.
+		if idx, ok := h.Dequeue(); ok {
+			out[0] = idx
+			return 1
 		}
 	}
 	return filled
