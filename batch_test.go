@@ -52,7 +52,23 @@ func TestPublicBatchRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		check(t, q.EnqueueBatch, q.DequeueBatch)
+		h, err := q.Handle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, h.EnqueueBatch, h.DequeueBatch)
+	})
+	t.Run("ShardedUnbounded", func(t *testing.T) {
+		// Ring size 8 forces rollover inside each shard mid-batch.
+		q, err := NewSharded[int](8, 2, WithUnboundedShards(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := q.Handle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, h.EnqueueBatch, h.DequeueBatch)
 	})
 	t.Run("Sharded", func(t *testing.T) {
 		// Home-shard capacity is total/shards; 256/4 = 64 >= the batch.

@@ -33,6 +33,13 @@ const (
 	// (the retained-memory granularity), not a bound. Tune the ring
 	// kind with WithRingKind.
 	BackendUnbounded
+	// BackendShardedUnbounded buffers on the sharded composition over
+	// unbounded linked-ring shards (see NewSharded with
+	// WithUnboundedShards): the head/tail hot words are spread across
+	// shards AND Send never blocks on capacity — each shard grows
+	// independently, only Recv parks. The capacity parameter becomes
+	// each shard's ring size. Tune with WithShards and WithRingKind.
+	BackendShardedUnbounded
 )
 
 // String names the backend as the queue registry does.
@@ -46,6 +53,8 @@ func (b Backend) String() string {
 		return "Sharded"
 	case BackendUnbounded:
 		return "Unbounded"
+	case BackendShardedUnbounded:
+		return "ShardedUnbounded"
 	}
 	return "?"
 }
@@ -81,7 +90,7 @@ func (c wcqChanCore[T]) footprint() uint64                     { return c.q.Foot
 
 type scqChanCore[T any] struct{ q *LockFreeQueue[T] }
 
-func (c scqChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q, nil }
+func (c scqChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q.Handle() }
 func (c scqChanCore[T]) capacity() uint64                      { return c.q.Cap() }
 func (c scqChanCore[T]) footprint() uint64                     { return c.q.Footprint() }
 
@@ -137,8 +146,9 @@ func (h unboundedChanHandle[T]) DequeueBatch(out []T) int {
 // values) fills, even if other shards have room. Receivers drain all
 // shards, so blocked senders still make progress.
 //
-// With BackendUnbounded there is no "full": Send always completes
-// without parking (the buffer grows in ring-sized steps instead), and
+// With BackendUnbounded and BackendShardedUnbounded there is no
+// "full": Send always completes without parking (the buffer grows in
+// ring-sized steps instead — per shard, for the sharded variant), and
 // only Recv parks. The close contract is unchanged.
 type Chan[T any] struct {
 	core     chanCore[T]
@@ -170,10 +180,11 @@ type ChanHandle[T any] struct {
 // capacity values (a power of two >= 2) on the backend selected with
 // WithBackend (default BackendWCQ), operated by at most maxThreads
 // concurrent Handles (ignored by BackendSCQ, which has no census).
-// With BackendUnbounded the buffer has no bound — capacity instead
-// sets the linked rings' size — and Send never blocks.
+// With BackendUnbounded and BackendShardedUnbounded the buffer has no
+// bound — capacity instead sets the linked rings' size (per shard,
+// for the sharded variant) — and Send never blocks.
 func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], error) {
-	_, o := buildOpts(opts)
+	o := buildOpts(opts)
 	var core chanCore[T]
 	switch o.backend {
 	case BackendWCQ:
@@ -189,6 +200,12 @@ func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], 
 		}
 		core = scqChanCore[T]{q}
 	case BackendSharded:
+		// WithUnboundedShards would silently turn this bounded backend
+		// unbounded (Cap 0, no Send backpressure); the unbounded-sharded
+		// Chan is its own backend, so reject the mix instead.
+		if o.unboundedShards {
+			return nil, fmt.Errorf("wfqueue: WithUnboundedShards conflicts with BackendSharded; use BackendShardedUnbounded")
+		}
 		q, err := NewSharded[T](capacity, maxThreads, opts...)
 		if err != nil {
 			return nil, err
@@ -207,6 +224,17 @@ func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], 
 			return nil, err
 		}
 		core = unboundedChanCore[T]{q}
+	case BackendShardedUnbounded:
+		// Like BackendUnbounded, capacity is a ring size (here: each
+		// shard's), never a bound, so Send never parks.
+		if err := validate(capacity, maxThreads); err != nil {
+			return nil, err
+		}
+		q, err := NewSharded[T](capacity, maxThreads, append(opts, WithUnboundedShards(o.shards))...)
+		if err != nil {
+			return nil, err
+		}
+		core = shardedChanCore[T]{q}
 	default:
 		return nil, fmt.Errorf("wfqueue: unknown chan backend %d", o.backend)
 	}
@@ -239,14 +267,14 @@ func (c *Chan[T]) Handle() (*ChanHandle[T], error) {
 }
 
 // Cap returns the buffer capacity; 0 means unbounded
-// (BackendUnbounded).
+// (BackendUnbounded and BackendShardedUnbounded).
 func (c *Chan[T]) Cap() uint64 { return c.core.capacity() }
 
 // Footprint returns the bytes the backing queue retains. For bounded
 // backends this is the construction-time allocation and never changes
-// (parked waiters draw from a shared pool); for BackendUnbounded it
-// is the live ring footprint, which grows with buffered values and
-// shrinks after a drain.
+// (parked waiters draw from a shared pool); for BackendUnbounded and
+// BackendShardedUnbounded it is the live ring footprint, which grows
+// with buffered values and shrinks after a drain.
 func (c *Chan[T]) Footprint() uint64 { return c.core.footprint() }
 
 // Closed reports whether Close has been called.

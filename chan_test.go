@@ -10,7 +10,7 @@ import (
 )
 
 func backends() []Backend {
-	return []Backend{BackendWCQ, BackendSCQ, BackendSharded, BackendUnbounded}
+	return []Backend{BackendWCQ, BackendSCQ, BackendSharded, BackendUnbounded, BackendShardedUnbounded}
 }
 
 func TestChanBasicsAllBackends(t *testing.T) {
@@ -22,7 +22,7 @@ func TestChanBasicsAllBackends(t *testing.T) {
 				t.Fatal(err)
 			}
 			wantCap := uint64(16)
-			if b == BackendUnbounded {
+			if b == BackendUnbounded || b == BackendShardedUnbounded {
 				wantCap = 0 // no bound; 16 became the ring size
 			}
 			if c.Cap() != wantCap {
@@ -394,7 +394,7 @@ func TestChanSCQBackendHasNoCensus(t *testing.T) {
 }
 
 func TestChanBackendString(t *testing.T) {
-	for b, want := range map[Backend]string{BackendWCQ: "wCQ", BackendSCQ: "SCQ", BackendSharded: "Sharded", BackendUnbounded: "Unbounded", Backend(99): "?"} {
+	for b, want := range map[Backend]string{BackendWCQ: "wCQ", BackendSCQ: "SCQ", BackendSharded: "Sharded", BackendUnbounded: "Unbounded", BackendShardedUnbounded: "ShardedUnbounded", Backend(99): "?"} {
 		if got := b.String(); got != want {
 			t.Fatalf("Backend(%d).String() = %q, want %q", b, got, want)
 		}
@@ -437,7 +437,18 @@ func ExampleChan() {
 func TestChanUnboundedRejectsZeroCapacity(t *testing.T) {
 	// Every backend enforces the capacity contract; the unbounded one
 	// must not silently substitute its default ring size for a zero.
+	if _, err := NewChan[int](0, 2, WithBackend(BackendShardedUnbounded)); err == nil {
+		t.Fatal("NewChan(0) accepted with the sharded-unbounded backend")
+	}
 	if _, err := NewChan[int](0, 2, WithBackend(BackendUnbounded)); err == nil {
 		t.Fatal("capacity 0 accepted by the unbounded backend")
+	}
+}
+
+func TestChanShardedRejectsUnboundedShardsOption(t *testing.T) {
+	// WithUnboundedShards would silently void the bounded backend's
+	// backpressure; the unbounded-sharded Chan is its own backend.
+	if _, err := NewChan[int](16, 2, WithBackend(BackendSharded), WithUnboundedShards(2)); err == nil {
+		t.Fatal("BackendSharded accepted WithUnboundedShards")
 	}
 }

@@ -56,7 +56,11 @@ type benchPoint struct {
 	MopsMin  float64 `json:"mops_min,omitempty"`
 	MopsMean float64 `json:"mops_mean,omitempty"`
 	MemoryMB float64 `json:"memory_mb,omitempty"`
-	Err      string  `json:"error,omitempty"`
+	// FootprintMB is the queue's own Footprint() after the run: the
+	// real summed allocation of the sharded compositions and the
+	// post-run retention of the unbounded queues (see harness.Point).
+	FootprintMB float64 `json:"footprint_mb,omitempty"`
+	Err         string  `json:"error,omitempty"`
 }
 
 func main() {
@@ -74,15 +78,21 @@ func main() {
 	shared := clihelper.Register(flag.CommandLine, 1<<16)
 	flag.Parse()
 
+	ringKind, err := shared.RingKind()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	opts := harness.RunOpts{
 		Ops:        *ops,
 		Reps:       *reps,
 		MaxThreads: *maxThr,
 		Shards:     shared.Shards,
+		Ring:       ringKind,
 		Batch:      shared.Batch,
 		Capacity:   shared.Capacity,
 		Emulate:    shared.Emulate,
-		WCQ:        shared.WCQOptions(),
+		Core:       shared.CoreOptions(),
 	}
 	if shared.Capacity == 1<<16 {
 		opts.Capacity = 0 // the default: let each figure use the paper's ring size
@@ -147,6 +157,7 @@ func main() {
 				bp.MopsMin = pt.Mops.Min
 				bp.MopsMean = pt.Mops.Mean
 				bp.MemoryMB = pt.MemoryMB
+				bp.FootprintMB = pt.FootprintMB
 			}
 			jf.Points = append(jf.Points, bp)
 		}
@@ -233,7 +244,11 @@ func reportWakeupLatency(f harness.Figure, opts harness.RunOpts, shared *clihelp
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Wakeup latency (parked Recv -> Send, %d samples, µs):\n", samples)
 	for _, name := range names {
-		cfg := shared.Config(4)
+		cfg, err := shared.Config(4)
+		if err != nil {
+			fmt.Fprintf(&sb, "%-12s n/a (%v)\n", name, err)
+			continue
+		}
 		sum, err := harness.WakeupLatency(name, cfg, samples)
 		if err != nil {
 			fmt.Fprintf(&sb, "%-12s n/a (%v)\n", name, err)

@@ -51,7 +51,11 @@ func main() {
 		}
 	}
 	names := shared.QueueNames(*queue)
-	cfg := shared.Config(*producers + *consumers + 2)
+	cfg, err := shared.Config(*producers + *consumers + 2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	failed := false
 	for _, name := range names {

@@ -104,3 +104,35 @@ func ExampleNewUnbounded() {
 	// rings: true
 	// sum: 45
 }
+
+// The full matrix in one constructor: sharded over unbounded
+// linked-ring shards — the head/tail hot words are spread across
+// shards AND no shard ever reports full.
+func ExampleNewSharded_unboundedShards() {
+	q, err := wfqueue.NewSharded[int](8, 2,
+		wfqueue.WithUnboundedShards(4),        // 4 shards, each an unbounded linked-ring queue
+		wfqueue.WithRingKind(wfqueue.RingWCQ)) // wait-free rings inside every shard
+	if err != nil {
+		panic(err)
+	}
+	h, err := q.Handle()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cap:", q.Cap()) // 0: no global bound
+	for i := 0; i < 100; i++ {   // far beyond one ring: the home shard grows
+		h.Enqueue(i)
+	}
+	sum := 0
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		sum += v
+	}
+	fmt.Println("sum:", sum)
+	// Output:
+	// cap: 0
+	// sum: 4950
+}

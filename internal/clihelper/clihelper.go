@@ -1,25 +1,34 @@
 // Package clihelper centralizes the queue-construction flag plumbing
 // shared by cmd/wcqbench and cmd/wcqstress, so the two tools register
 // the same flags with the same meanings and cannot drift (before this
-// package each tool declared its own subset by hand).
+// package each tool declared its own subset by hand). That includes
+// the composition dimensions: -shards (how many sub-queues) and -ring
+// (which ring core inside them) are declared once here, so the
+// kind x composition matrix is spelled identically everywhere.
 package clihelper
 
 import (
 	"flag"
+	"fmt"
 
 	"repro/internal/atomicx"
 	"repro/internal/queues"
-	"repro/internal/wcq"
+	"repro/internal/ringcore"
 )
 
 // Flags holds the queue-construction flag values common to the CLIs.
 type Flags struct {
 	// Capacity is the ring capacity: the total bound for bounded
-	// queues, the per-ring size for the unbounded LSCQ/UWCQ.
+	// queues, the per-ring size for the unbounded variants (LSCQ,
+	// UWCQ, ShardedUnbounded and their Chan facades).
 	Capacity uint64
-	// Shards is the shard count for the Sharded queue and the sharded
-	// Chan facade (0 = the default 4).
+	// Shards is the shard count for the sharded compositions and
+	// their Chan facades (0 = the default 4).
 	Shards int
+	// Ring names the ring kind inside the sharded compositions and
+	// ChanUnbounded ("wCQ" or "SCQ"; empty = wCQ). Fixed-kind queue
+	// names (wCQ, SCQ, LSCQ, UWCQ) ignore it.
+	Ring string
 	// Batch > 1 drives batched enqueue/dequeue paths.
 	Batch int
 	// Emulate selects CAS-emulated F&A (the PowerPC configuration).
@@ -37,8 +46,9 @@ type Flags struct {
 // so it is a parameter.
 func Register(fs *flag.FlagSet, defaultCapacity uint64) *Flags {
 	f := &Flags{}
-	fs.Uint64Var(&f.Capacity, "capacity", defaultCapacity, "ring capacity (total for bounded queues, per-ring for LSCQ/UWCQ)")
-	fs.IntVar(&f.Shards, "shards", 0, "shard count for the Sharded queue / sharded Chan (0 = default 4)")
+	fs.Uint64Var(&f.Capacity, "capacity", defaultCapacity, "ring capacity (total for bounded queues, per-ring for the unbounded variants)")
+	fs.IntVar(&f.Shards, "shards", 0, "shard count for the sharded compositions / sharded Chans (0 = default 4)")
+	fs.StringVar(&f.Ring, "ring", "", "ring kind inside sharded compositions: wCQ (default) or SCQ")
 	fs.IntVar(&f.Batch, "batch", 0, "> 1: drive batched enqueue/dequeue with this batch size")
 	fs.BoolVar(&f.Emulate, "emulate", false, "CAS-emulated F&A (PowerPC mode)")
 	fs.BoolVar(&f.Slowpath, "slowpath", false, "wCQ: patience 1 + eager helping (forces the helped slow paths)")
@@ -46,28 +56,47 @@ func Register(fs *flag.FlagSet, defaultCapacity uint64) *Flags {
 	return f
 }
 
+// RingKind resolves the -ring flag to a ringcore.Kind (wCQ when the
+// flag is unset); an unknown name is a usage error.
+func (f *Flags) RingKind() (ringcore.Kind, error) {
+	if f.Ring == "" {
+		return ringcore.KindWCQ, nil
+	}
+	k, err := ringcore.KindByName(f.Ring)
+	if err != nil {
+		return 0, fmt.Errorf("-ring: %w", err)
+	}
+	return k, nil
+}
+
 // Config translates the flag values into a queues.Config with the
-// given handle budget.
-func (f *Flags) Config(maxThreads int) queues.Config {
+// given handle budget. The error is a usage error (e.g. an unknown
+// -ring kind).
+func (f *Flags) Config(maxThreads int) (queues.Config, error) {
+	kind, err := f.RingKind()
+	if err != nil {
+		return queues.Config{}, err
+	}
 	cfg := queues.Config{
 		Capacity:   f.Capacity,
 		MaxThreads: maxThreads,
 		Shards:     f.Shards,
+		Ring:       kind,
 	}
 	if f.Emulate {
 		cfg.Mode = atomicx.EmulatedFAA
 	}
-	cfg.WCQOptions = f.WCQOptions()
-	return cfg
+	cfg.Core = f.CoreOptions()
+	return cfg, nil
 }
 
-// WCQOptions returns the wCQ tuning implied by the flags (nil when
-// the defaults apply).
-func (f *Flags) WCQOptions() *wcq.Options {
+// CoreOptions returns the ring-core tuning implied by the flags (nil
+// when the defaults apply).
+func (f *Flags) CoreOptions() *ringcore.Options {
 	if !f.Slowpath {
 		return nil
 	}
-	return &wcq.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	return &ringcore.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
 }
 
 // QueueNames expands a -queue selection ("all" or a concrete name)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/queues"
+	"repro/internal/ringcore"
 )
 
 func TestRegisterDefaults(t *testing.T) {
@@ -15,31 +16,54 @@ func TestRegisterDefaults(t *testing.T) {
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if f.Capacity != 1<<16 || f.Shards != 0 || f.Batch != 0 || f.Emulate || f.Slowpath || f.Blocking {
+	if f.Capacity != 1<<16 || f.Shards != 0 || f.Ring != "" || f.Batch != 0 || f.Emulate || f.Slowpath || f.Blocking {
 		t.Fatalf("defaults: %+v", f)
 	}
-	cfg := f.Config(8)
-	if cfg.Capacity != 1<<16 || cfg.MaxThreads != 8 || cfg.Mode != atomicx.NativeFAA || cfg.WCQOptions != nil {
+	cfg, err := f.Config(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Capacity != 1<<16 || cfg.MaxThreads != 8 || cfg.Mode != atomicx.NativeFAA || cfg.Core != nil {
 		t.Fatalf("config: %+v", cfg)
+	}
+	if cfg.Ring != ringcore.KindWCQ {
+		t.Fatalf("default ring kind: %v", cfg.Ring)
 	}
 }
 
 func TestRegisterParse(t *testing.T) {
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)
 	f := Register(fs, 256)
-	err := fs.Parse([]string{"-capacity", "512", "-shards", "8", "-batch", "32", "-emulate", "-slowpath", "-blocking"})
+	err := fs.Parse([]string{"-capacity", "512", "-shards", "8", "-ring", "SCQ", "-batch", "32", "-emulate", "-slowpath", "-blocking"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := f.Config(4)
+	cfg, err := f.Config(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cfg.Capacity != 512 || cfg.Shards != 8 || cfg.Mode != atomicx.EmulatedFAA {
 		t.Fatalf("config: %+v", cfg)
 	}
-	if cfg.WCQOptions == nil || cfg.WCQOptions.EnqPatience != 1 {
-		t.Fatalf("slowpath options: %+v", cfg.WCQOptions)
+	if cfg.Ring != ringcore.KindSCQ {
+		t.Fatalf("ring kind: %v", cfg.Ring)
+	}
+	if cfg.Core == nil || cfg.Core.EnqPatience != 1 {
+		t.Fatalf("slowpath options: %+v", cfg.Core)
 	}
 	if f.Batch != 32 || !f.Blocking {
 		t.Fatalf("flags: %+v", f)
+	}
+}
+
+func TestRingFlagRejectsUnknownKind(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := Register(fs, 256)
+	if err := fs.Parse([]string{"-ring", "XYZ"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Config(4); err == nil {
+		t.Fatal("unknown -ring kind accepted")
 	}
 }
 

@@ -33,18 +33,18 @@ func BlockingSplit(threads int) (producers, consumers int) {
 // they finish, and consumers Recv until the drain completes. Each
 // transferred value counts as two operations (send + recv), keeping
 // Mops comparable with the pairwise workload.
-func runBlockingOnce(name string, cfg queues.Config, opts PointOpts) (mops float64, memMB float64, err error) {
+func runBlockingOnce(name string, cfg queues.Config, opts PointOpts) (mops, memMB, fpMB float64, err error) {
 	producers, consumers := BlockingSplit(opts.Threads)
 	if cfg.MaxThreads < producers+consumers+1 {
 		cfg.MaxThreads = producers + consumers + 1
 	}
 	q, err := queues.New(name, cfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	closer, ok := q.(queueapi.Closer)
 	if !ok {
-		return 0, 0, fmt.Errorf("harness: %s is not a blocking queue (no Close)", name)
+		return 0, 0, 0, fmt.Errorf("harness: %s is not a blocking queue (no Close)", name)
 	}
 
 	perProducer := opts.Ops / (2 * producers)
@@ -59,7 +59,7 @@ func runBlockingOnce(name string, cfg queues.Config, opts PointOpts) (mops float
 	for p := 0; p < producers; p++ {
 		w, herr := queueapi.WaitableHandle(q)
 		if herr != nil {
-			return 0, 0, herr
+			return 0, 0, 0, herr
 		}
 		prod.Add(1)
 		go func(seed uint64, w queueapi.Waitable) {
@@ -78,7 +78,7 @@ func runBlockingOnce(name string, cfg queues.Config, opts PointOpts) (mops float
 	for c := 0; c < consumers; c++ {
 		w, herr := queueapi.WaitableHandle(q)
 		if herr != nil {
-			return 0, 0, herr
+			return 0, 0, 0, herr
 		}
 		cons.Add(1)
 		go func(w queueapi.Waitable) {
@@ -99,16 +99,16 @@ func runBlockingOnce(name string, cfg queues.Config, opts PointOpts) (mops float
 	barrier.Done()
 	prod.Wait()
 	if cerr := closer.Close(); cerr != nil {
-		return 0, 0, cerr
+		return 0, 0, 0, cerr
 	}
 	cons.Wait()
 	elapsed := time.Since(start).Seconds()
 	select {
 	case werr := <-errs:
-		return 0, 0, werr
+		return 0, 0, 0, werr
 	default:
 	}
-	return stats.Mops(2*producers*perProducer, elapsed), 0, nil
+	return stats.Mops(2*producers*perProducer, elapsed), 0, footprintMB(q), nil
 }
 
 // WakeupLatency measures the blocking facade's parked-wakeup latency:

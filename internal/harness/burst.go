@@ -37,14 +37,14 @@ func BurstSplit(threads int) (producers, consumers int) {
 // trade the unbounded queues make — absorb any burst, pay for it in
 // live ring memory — and how the ring pool caps the cost once the
 // burst drains.
-func runBurstOnce(name string, cfg queues.Config, burst int, opts PointOpts) (mops, memMB float64, err error) {
+func runBurstOnce(name string, cfg queues.Config, burst int, opts PointOpts) (mops, memMB, fpMB float64, err error) {
 	producers, consumers := BurstSplit(opts.Threads)
 	if cfg.MaxThreads < producers+consumers+1 {
 		cfg.MaxThreads = producers + consumers + 1
 	}
 	q, err := queues.New(name, cfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 
 	perProducer := burst / producers
@@ -59,7 +59,7 @@ func runBurstOnce(name string, cfg queues.Config, burst int, opts PointOpts) (mo
 	for p := 0; p < producers; p++ {
 		h, herr := q.Handle()
 		if herr != nil {
-			return 0, 0, herr
+			return 0, 0, 0, herr
 		}
 		wg.Add(1)
 		go func(seed uint64, h queueapi.Handle) {
@@ -89,7 +89,7 @@ func runBurstOnce(name string, cfg queues.Config, burst int, opts PointOpts) (mo
 	for c := 0; c < consumers; c++ {
 		h, herr := q.Handle()
 		if herr != nil {
-			return 0, 0, herr
+			return 0, 0, 0, herr
 		}
 		dg.Add(1)
 		go func(h queueapi.Handle) {
@@ -105,7 +105,9 @@ func runBurstOnce(name string, cfg queues.Config, burst int, opts PointOpts) (mo
 	}
 	dg.Wait()
 	elapsed := time.Since(start).Seconds()
-	return stats.Mops(2*total, elapsed), memMB, nil
+	// Post-drain retention: with the burst gone, Footprint shows what
+	// the ring pool keeps — the bounded-memory half of the story.
+	return stats.Mops(2*total, elapsed), memMB, footprintMB(q), nil
 }
 
 // FormatBurstPoints renders a burst figure's results: one row per

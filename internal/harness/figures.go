@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/queues"
+	"repro/internal/ringcore"
 	"repro/internal/stats"
-	"repro/internal/wcq"
 )
 
 // Figure describes one plot of the paper's evaluation (§6) and how to
@@ -56,7 +56,7 @@ var (
 	x86Queues       = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue", "LCRQ"}
 	ppcQueues       = []string{"FAA", "wCQ", "YMC", "CCQueue", "SCQ", "CRTurn", "MSQueue"}
 	scaleQueues     = []string{"FAA", "wCQ", "SCQ", "Sharded"}
-	blockingQueues  = []string{"Chan", "ChanSCQ", "ChanSharded", "ChanUnbounded"}
+	blockingQueues  = queues.BlockingQueues() // keep the b1 line-up in lockstep with the registry
 	blockingThreads = []int{2, 4, 8, 18, 36, 72}
 	unboundedQueues = queues.UnboundedQueues() // keep the u1 line-up in lockstep with the registry
 	burstSizes      = []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}
@@ -130,11 +130,12 @@ type RunOpts struct {
 	Reps       int
 	MaxThreads int // truncate the sweep (0 = full paper sweep)
 	Queues     []string
-	Shards     int    // shard count for the Sharded queue (0 = default)
-	Batch      int    // batch size; > 1 drives the batched workload loop
-	Capacity   uint64 // ring capacity (0 = the paper's 2^16)
-	Emulate    bool   // force CAS-emulated F&A regardless of the figure's mode
-	WCQ        *wcq.Options
+	Shards     int           // shard count for the sharded compositions (0 = default)
+	Ring       ringcore.Kind // ring kind inside the sharded compositions
+	Batch      int           // batch size; > 1 drives the batched workload loop
+	Capacity   uint64        // ring capacity (0 = the paper's 2^16)
+	Emulate    bool          // force CAS-emulated F&A regardless of the figure's mode
+	Core       *ringcore.Options
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -174,7 +175,8 @@ func (f Figure) Run(opts RunOpts) []Point {
 				MaxThreads: th + 1,
 				Mode:       f.Mode,
 				Shards:     opts.Shards,
-				WCQOptions: opts.WCQ,
+				Ring:       opts.Ring,
+				Core:       opts.Core,
 			}
 			if opts.Capacity > 0 {
 				cfg.Capacity = opts.Capacity
@@ -220,7 +222,8 @@ func (f Figure) runBursts(opts RunOpts, qs []string) []Point {
 				MaxThreads: threads + 1,
 				Mode:       f.Mode,
 				Shards:     opts.Shards,
-				WCQOptions: opts.WCQ,
+				Ring:       opts.Ring,
+				Core:       opts.Core,
 			}
 			if opts.Capacity > 0 {
 				cfg.Capacity = opts.Capacity
@@ -232,7 +235,7 @@ func (f Figure) runBursts(opts RunOpts, qs []string) []Point {
 			reps := opts.Reps
 			mops := make([]float64, 0, reps)
 			for rep := 0; rep < reps; rep++ {
-				m, mem, err := runBurstOnce(name, cfg, burst, PointOpts{Threads: threads})
+				m, mem, fp, err := runBurstOnce(name, cfg, burst, PointOpts{Threads: threads})
 				if err != nil {
 					pt.Err = err
 					break
@@ -240,6 +243,9 @@ func (f Figure) runBursts(opts RunOpts, qs []string) []Point {
 				mops = append(mops, m)
 				if mem > pt.MemoryMB {
 					pt.MemoryMB = mem
+				}
+				if fp > pt.FootprintMB {
+					pt.FootprintMB = fp
 				}
 			}
 			if pt.Err == nil {
@@ -266,7 +272,8 @@ func (f Figure) runBatches(opts RunOpts, qs []string) []Point {
 				MaxThreads: threads + 1,
 				Mode:       f.Mode,
 				Shards:     opts.Shards,
-				WCQOptions: opts.WCQ,
+				Ring:       opts.Ring,
+				Core:       opts.Core,
 			}
 			if opts.Capacity > 0 {
 				cfg.Capacity = opts.Capacity

@@ -79,7 +79,13 @@ type Point struct {
 	Batch    int // batch size (batch figures only; 0 otherwise)
 	Mops     stats.Summary
 	MemoryMB float64 // peak memory consumed (cumulative static + heap)
-	Err      error   // non-nil when the queue is unavailable (e.g. LCRQ under emulation)
+	// FootprintMB is the queue's own Footprint() at the end of a run:
+	// the construction-time allocation for the bounded queues (summed
+	// over shards for the sharded compositions) and the post-run live
+	// retention for the unbounded ones. Unlike MemoryMB it needs no
+	// heap sampling, so every point carries it.
+	FootprintMB float64
+	Err         error // non-nil when the queue is unavailable (e.g. LCRQ under emulation)
 }
 
 // RunPoint measures one queue at one thread count.
@@ -90,7 +96,7 @@ func RunPoint(name string, cfg queues.Config, w Workload, opts PointOpts) Point 
 	}
 	mops := make([]float64, 0, opts.Reps)
 	for rep := 0; rep < opts.Reps; rep++ {
-		m, mem, err := runOnce(name, cfg, w, opts)
+		m, mem, fp, err := runOnce(name, cfg, w, opts)
 		if err != nil {
 			pt.Err = err
 			return pt
@@ -99,13 +105,19 @@ func RunPoint(name string, cfg queues.Config, w Workload, opts PointOpts) Point 
 		if mem > pt.MemoryMB {
 			pt.MemoryMB = mem
 		}
+		if fp > pt.FootprintMB {
+			pt.FootprintMB = fp
+		}
 	}
 	pt.Mops = stats.Summarize(mops)
 	return pt
 }
 
+// footprintMB converts a queue's Footprint to the figure unit.
+func footprintMB(q queueapi.Queue) float64 { return float64(q.Footprint()) / (1 << 20) }
+
 // runOnce builds a fresh queue and drives one timed run.
-func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops float64, memMB float64, err error) {
+func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops, memMB, fpMB float64, err error) {
 	if opts.Blocking {
 		return runBlockingOnce(name, cfg, opts)
 	}
@@ -114,7 +126,7 @@ func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops f
 	}
 	q, err := queues.New(name, cfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 
 	var baseline runtime.MemStats
@@ -135,7 +147,7 @@ func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops f
 	for t := 0; t < opts.Threads; t++ {
 		h, herr := q.Handle()
 		if herr != nil {
-			return 0, 0, herr
+			return 0, 0, 0, herr
 		}
 		wg.Add(1)
 		go func(seed uint64) {
@@ -184,7 +196,7 @@ func runOnce(name string, cfg queues.Config, w Workload, opts PointOpts) (mops f
 		// grows with closed rings / segments) plus dynamic heap growth.
 		memMB = float64(q.Footprint())/(1<<20) + heapMB
 	}
-	return stats.Mops(opts.Ops, elapsed), memMB, nil
+	return stats.Mops(opts.Ops, elapsed), memMB, footprintMB(q), nil
 }
 
 // runBatched is the batched twin of the scalar workload loop: the

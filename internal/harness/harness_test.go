@@ -170,7 +170,7 @@ func TestBurstFigure(t *testing.T) {
 	for _, name := range f.Queues {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			mops, memMB, err := runBurstOnce(name, cfg, 2048, PointOpts{Threads: 4})
+			mops, memMB, fpMB, err := runBurstOnce(name, cfg, 2048, PointOpts{Threads: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -179,6 +179,9 @@ func TestBurstFigure(t *testing.T) {
 			}
 			if memMB <= 0 {
 				t.Fatal("no peak footprint measured (unbounded Footprint must be live)")
+			}
+			if fpMB <= 0 {
+				t.Fatal("no post-drain footprint measured")
 			}
 		})
 	}

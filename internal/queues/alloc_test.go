@@ -19,7 +19,7 @@ import (
 // nodes/segments by design and are excluded, as are the Chan facades
 // (parking draws recycled waiters, but close bookkeeping is off the
 // claim's hot path).
-var allocVariants = []string{"wCQ", "SCQ", "Sharded", "LSCQ", "UWCQ"}
+var allocVariants = []string{"wCQ", "SCQ", "Sharded", "ShardedUnbounded", "LSCQ", "UWCQ"}
 
 func TestZeroAllocScalarHotPath(t *testing.T) {
 	for _, name := range allocVariants {

@@ -2,7 +2,15 @@
 // to the common queueapi interface and provides a registry keyed by
 // the names used in the paper's figures (wCQ, SCQ, LCRQ, YMC, CRTurn,
 // CCQueue, MSQueue, FAA) plus the post-paper compositions (Sharded,
-// the unbounded LSCQ/UWCQ, and the blocking Chan facades).
+// ShardedUnbounded, the unbounded LSCQ/UWCQ, and the blocking Chan
+// facades).
+//
+// Every ring-based variant — both cores and every composition over
+// them — is adapted by ONE generic coreAdapter through the
+// ringcore.Core contract, so registering a new composition is a table
+// entry plus a small build function. Only the paper's external
+// baselines (LCRQ, YMC, CRTurn, CCQueue, MSQueue, FAA) and the
+// blocking Chan facades keep bespoke adapters.
 package queues
 
 import (
@@ -18,17 +26,18 @@ import (
 	"repro/internal/lcrq"
 	"repro/internal/msq"
 	"repro/internal/queueapi"
-	"repro/internal/scq"
+	"repro/internal/ringcore"
 	"repro/internal/sharded"
 	"repro/internal/unbounded"
-	"repro/internal/wcq"
 	"repro/internal/ymc"
 )
 
 // Config parameterizes queue construction.
 type Config struct {
-	// Capacity is the bounded-ring capacity (wCQ, SCQ). The paper's
-	// benchmarks use 2^16.
+	// Capacity is the bounded-ring capacity (wCQ, SCQ, Sharded; the
+	// paper's benchmarks use 2^16) and the per-ring size of the
+	// unbounded variants (LSCQ, UWCQ, ShardedUnbounded), where it is a
+	// growth granularity rather than a bound.
 	Capacity uint64
 	// MaxThreads bounds the number of Handle() calls for queues with
 	// per-thread state.
@@ -38,11 +47,17 @@ type Config struct {
 	// LCRQOrder overrides the CRQ ring order (default 12, as in the
 	// paper).
 	LCRQOrder uint
-	// Shards is the sub-queue count for the Sharded composition
+	// Shards is the sub-queue count for the sharded compositions
 	// (default sharded.DefaultShards).
 	Shards int
-	// WCQ tuning; nil selects the paper's defaults.
-	WCQOptions *wcq.Options
+	// Ring selects the ring kind inside the sharded compositions
+	// (Sharded, ShardedUnbounded, ChanSharded, ChanShardedUnbounded)
+	// and the ChanUnbounded facade: wait-free wCQ (the default) or
+	// lock-free SCQ. The fixed-kind variants (wCQ, SCQ, LSCQ, UWCQ)
+	// ignore it — their name is their kind.
+	Ring ringcore.Kind
+	// Core tunes the ring cores; nil selects the paper's defaults.
+	Core *ringcore.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -58,33 +73,73 @@ func (c Config) withDefaults() Config {
 // Builder constructs a queue implementation.
 type Builder func(Config) (queueapi.Queue, error)
 
-// wcqOptions merges cfg.Mode into a private copy of cfg.WCQOptions,
-// so builders never write through the caller's pointer.
-func wcqOptions(cfg Config) *wcq.Options {
-	var o wcq.Options
-	if cfg.WCQOptions != nil {
-		o = *cfg.WCQOptions
+// coreOptions merges cfg.Mode into a private copy of cfg.Core, so
+// builders never write through the caller's pointer.
+func coreOptions(cfg Config) *ringcore.Options {
+	var o ringcore.Options
+	if cfg.Core != nil {
+		o = *cfg.Core
 	}
 	o.Mode = cfg.Mode
 	return &o
 }
 
+// registry maps figure names to builders. The ring-based variants all
+// route through newCoreBuilder; adding a composition is one entry.
 var registry = map[string]Builder{
-	"wCQ":           NewWCQ,
-	"SCQ":           NewSCQ,
-	"LCRQ":          NewLCRQ,
-	"YMC":           NewYMC,
-	"CRTurn":        NewCRTurn,
-	"CCQueue":       NewCCQueue,
-	"MSQueue":       NewMSQueue,
-	"FAA":           NewFAA,
-	"Sharded":       NewShardedWCQ,
-	"LSCQ":          NewLSCQ,
-	"UWCQ":          NewUWCQ,
-	"Chan":          newChanBuilder("Chan", wfqueue.BackendWCQ),
-	"ChanSCQ":       newChanBuilder("ChanSCQ", wfqueue.BackendSCQ),
-	"ChanSharded":   newChanBuilder("ChanSharded", wfqueue.BackendSharded),
-	"ChanUnbounded": newChanBuilder("ChanUnbounded", wfqueue.BackendUnbounded),
+	"wCQ": newCoreBuilder("wCQ", func(cfg Config) (ringcore.Core[uint64], error) {
+		return ringcore.New[uint64](ringcore.KindWCQ, cfg.Capacity, cfg.MaxThreads, coreOptions(cfg))
+	}),
+	"SCQ": newCoreBuilder("SCQ", func(cfg Config) (ringcore.Core[uint64], error) {
+		return ringcore.New[uint64](ringcore.KindSCQ, cfg.Capacity, cfg.MaxThreads, coreOptions(cfg))
+	}),
+	"Sharded":          newCoreBuilder("Sharded", buildSharded(false)),
+	"ShardedUnbounded": newCoreBuilder("ShardedUnbounded", buildSharded(true)),
+	"LSCQ":             newCoreBuilder("LSCQ", buildUnbounded(ringcore.KindSCQ)),
+	"UWCQ":             newCoreBuilder("UWCQ", buildUnbounded(ringcore.KindWCQ)),
+	"LCRQ":             newLCRQ,
+	"YMC":              newYMC,
+	"CRTurn":           newCRTurn,
+	"CCQueue":          newCCQueue,
+	"MSQueue":          newMSQueue,
+	"FAA":              newFAA,
+	"Chan":             newChanBuilder("Chan", wfqueue.BackendWCQ),
+	"ChanSCQ":          newChanBuilder("ChanSCQ", wfqueue.BackendSCQ),
+	"ChanSharded":      newChanBuilder("ChanSharded", wfqueue.BackendSharded),
+	"ChanUnbounded":    newChanBuilder("ChanUnbounded", wfqueue.BackendUnbounded),
+	"ChanShardedUnbounded": newChanBuilder("ChanShardedUnbounded",
+		wfqueue.BackendShardedUnbounded),
+}
+
+// buildSharded returns the core build function for the sharded
+// compositions: bounded ring shards, or unbounded linked-ring shards
+// (per-shard growth, Cap 0). cfg.Ring picks the shard kind.
+func buildSharded(unboundedShards bool) func(Config) (ringcore.Core[uint64], error) {
+	return func(cfg Config) (ringcore.Core[uint64], error) {
+		q, err := sharded.New[uint64](cfg.Capacity, cfg.MaxThreads, &sharded.Options{
+			Shards:    cfg.Shards,
+			Kind:      cfg.Ring,
+			Unbounded: unboundedShards,
+			Core:      coreOptions(cfg),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return q.Core(), nil
+	}
+}
+
+// buildUnbounded returns the core build function for the unbounded
+// linked-ring queues of Appendix A. cfg.Capacity is the per-ring
+// capacity, not a bound.
+func buildUnbounded(kind ringcore.Kind) func(Config) (ringcore.Core[uint64], error) {
+	return func(cfg Config) (ringcore.Core[uint64], error) {
+		q, err := unbounded.New[uint64](kind, cfg.Capacity, cfg.MaxThreads, coreOptions(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return q.Core(), nil
+	}
 }
 
 // Names returns the registered queue names, sorted.
@@ -108,101 +163,71 @@ func New(name string, cfg Config) (queueapi.Queue, error) {
 
 // RealQueues lists the names that are actual FIFO queues (excludes the
 // FAA pseudo-queue), in the paper's figure order, followed by the
-// post-paper compositions: Sharded, then the unbounded linked-ring
-// queues of Appendix A (LSCQ, UWCQ).
+// post-paper compositions: the sharded queues, then the unbounded
+// linked-ring queues of Appendix A (LSCQ, UWCQ).
 func RealQueues() []string {
-	return []string{"wCQ", "SCQ", "LCRQ", "YMC", "CRTurn", "CCQueue", "MSQueue", "Sharded", "LSCQ", "UWCQ"}
+	return []string{"wCQ", "SCQ", "LCRQ", "YMC", "CRTurn", "CCQueue", "MSQueue",
+		"Sharded", "ShardedUnbounded", "LSCQ", "UWCQ"}
 }
 
 // BlockingQueues lists the registered blocking (Chan) facades — the
 // queues whose handles implement queueapi.Waitable and that implement
 // queueapi.Closer, so blocking harnesses can close and drain them.
 func BlockingQueues() []string {
-	return []string{"Chan", "ChanSCQ", "ChanSharded", "ChanUnbounded"}
+	return []string{"Chan", "ChanSCQ", "ChanSharded", "ChanShardedUnbounded", "ChanUnbounded"}
 }
 
 // UnboundedQueues lists the queues with no capacity bound built from
 // linked bounded rings — the figure u1 line-up, whose Footprint is a
 // live signal rather than a constant.
 func UnboundedQueues() []string {
-	return []string{"LSCQ", "UWCQ", "ChanUnbounded"}
+	return []string{"LSCQ", "UWCQ", "ShardedUnbounded", "ChanUnbounded", "ChanShardedUnbounded"}
 }
 
-// --- wCQ ---
+// --- The generic ringcore adapter ---
 
-type wcqQueue struct {
-	q   *wcq.Queue[uint64]
-	cfg Config
+// coreQueue adapts any ringcore.Core to queueapi: both ring cores and
+// every composition over them (sharded, unbounded, sharded-unbounded)
+// are served by this one type. Handles come straight from Acquire —
+// a ringcore.Handle already satisfies queueapi.Handle and the native
+// queueapi.Batcher structurally.
+type coreQueue struct {
+	name string
+	core ringcore.Core[uint64]
 }
 
-type wcqHandle struct{ h *wcq.QueueHandle[uint64] }
+// newCoreBuilder adapts a ringcore build function to the registry's
+// Builder shape.
+func newCoreBuilder(name string, build func(Config) (ringcore.Core[uint64], error)) Builder {
+	return func(cfg Config) (queueapi.Queue, error) {
+		core, err := build(cfg.withDefaults())
+		if err != nil {
+			return nil, err
+		}
+		return &coreQueue{name: name, core: core}, nil
+	}
+}
 
-// NewWCQ builds the paper's contribution: the wait-free circular queue.
-func NewWCQ(cfg Config) (queueapi.Queue, error) {
-	cfg = cfg.withDefaults()
-	opts := wcqOptions(cfg)
-	q, err := wcq.NewQueue[uint64](cfg.Capacity, cfg.MaxThreads, opts)
+func (w *coreQueue) Handle() (queueapi.Handle, error) {
+	h, err := w.core.Acquire()
 	if err != nil {
 		return nil, err
 	}
-	return &wcqQueue{q: q, cfg: cfg}, nil
+	return h, nil
 }
-
-func (w *wcqQueue) Handle() (queueapi.Handle, error) {
-	h, err := w.q.Register()
-	if err != nil {
-		return nil, err
-	}
-	return &wcqHandle{h: h}, nil
-}
-func (w *wcqQueue) Cap() uint64       { return w.q.Cap() }
-func (w *wcqQueue) Footprint() uint64 { return w.q.Footprint() }
-func (w *wcqQueue) Name() string      { return "wCQ" }
-
-func (h *wcqHandle) Enqueue(v uint64) bool   { return h.h.Enqueue(v) }
-func (h *wcqHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
-
-// EnqueueBatch/DequeueBatch expose wCQ's native queueapi.Batcher: one
-// reservation F&A per ring per fast-path batch.
-func (h *wcqHandle) EnqueueBatch(vs []uint64) int  { return h.h.EnqueueBatch(vs) }
-func (h *wcqHandle) DequeueBatch(out []uint64) int { return h.h.DequeueBatch(out) }
-
-// --- SCQ ---
-
-type scqQueue struct{ q *scq.Queue[uint64] }
-type scqHandle struct{ q *scq.Queue[uint64] }
-
-// NewSCQ builds the lock-free substrate queue.
-func NewSCQ(cfg Config) (queueapi.Queue, error) {
-	cfg = cfg.withDefaults()
-	q, err := scq.NewQueue[uint64](cfg.Capacity, cfg.Mode)
-	if err != nil {
-		return nil, err
-	}
-	return &scqQueue{q: q}, nil
-}
-
-func (w *scqQueue) Handle() (queueapi.Handle, error) { return &scqHandle{q: w.q}, nil }
-func (w *scqQueue) Cap() uint64                      { return w.q.Cap() }
-func (w *scqQueue) Footprint() uint64                { return w.q.Footprint() }
-func (w *scqQueue) Name() string                     { return "SCQ" }
-
-func (h *scqHandle) Enqueue(v uint64) bool   { return h.q.Enqueue(v) }
-func (h *scqHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
-
-// EnqueueBatch/DequeueBatch expose SCQ's native queueapi.Batcher.
-func (h *scqHandle) EnqueueBatch(vs []uint64) int  { return h.q.EnqueueBatch(vs) }
-func (h *scqHandle) DequeueBatch(out []uint64) int { return h.q.DequeueBatch(out) }
+func (w *coreQueue) Cap() uint64       { return w.core.Cap() }
+func (w *coreQueue) Footprint() uint64 { return w.core.Footprint() }
+func (w *coreQueue) Name() string      { return w.name }
 
 // --- LCRQ ---
 
 type lcrqQueue struct{ q *lcrq.Queue }
 type lcrqHandle struct{ q *lcrq.Queue }
 
-// NewLCRQ builds the Morrison & Afek queue. It is excluded from the
+// newLCRQ builds the Morrison & Afek queue. It is excluded from the
 // emulated-F&A (PowerPC) figures, as in the paper; construction under
 // EmulatedFAA fails so harnesses skip it explicitly.
-func NewLCRQ(cfg Config) (queueapi.Queue, error) {
+func newLCRQ(cfg Config) (queueapi.Queue, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Mode == atomicx.EmulatedFAA {
 		return nil, fmt.Errorf("lcrq: not available without CAS2 (the paper omits it on PowerPC)")
@@ -225,8 +250,8 @@ func (h *lcrqHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
 type ymcQueue struct{ q *ymc.Queue }
 type ymcHandle struct{ h *ymc.Handle }
 
-// NewYMC builds the Yang & Mellor-Crummey baseline.
-func NewYMC(cfg Config) (queueapi.Queue, error) {
+// newYMC builds the Yang & Mellor-Crummey baseline.
+func newYMC(cfg Config) (queueapi.Queue, error) {
 	cfg = cfg.withDefaults()
 	return &ymcQueue{q: ymc.New(cfg.MaxThreads)}, nil
 }
@@ -252,8 +277,8 @@ func (h *ymcHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
 type crturnQueue struct{ q *crturn.Queue }
 type crturnHandle struct{ h *crturn.Handle }
 
-// NewCRTurn builds the Ramalhete & Correia wait-free baseline.
-func NewCRTurn(cfg Config) (queueapi.Queue, error) {
+// newCRTurn builds the Ramalhete & Correia wait-free baseline.
+func newCRTurn(cfg Config) (queueapi.Queue, error) {
 	cfg = cfg.withDefaults()
 	return &crturnQueue{q: crturn.New(cfg.MaxThreads)}, nil
 }
@@ -277,8 +302,8 @@ func (h *crturnHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
 type ccqQueue struct{ q *ccq.Queue }
 type ccqHandle struct{ h *ccq.Handle }
 
-// NewCCQueue builds the flat-combining baseline.
-func NewCCQueue(cfg Config) (queueapi.Queue, error) {
+// newCCQueue builds the flat-combining baseline.
+func newCCQueue(cfg Config) (queueapi.Queue, error) {
 	cfg = cfg.withDefaults()
 	return &ccqQueue{q: ccq.New(cfg.MaxThreads)}, nil
 }
@@ -302,8 +327,8 @@ func (h *ccqHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
 type msqQueue struct{ q *msq.Queue }
 type msqHandle struct{ q *msq.Queue }
 
-// NewMSQueue builds the Michael & Scott baseline.
-func NewMSQueue(cfg Config) (queueapi.Queue, error) {
+// newMSQueue builds the Michael & Scott baseline.
+func newMSQueue(cfg Config) (queueapi.Queue, error) {
 	return &msqQueue{q: msq.New()}, nil
 }
 
@@ -320,9 +345,9 @@ func (h *msqHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
 type faaQueue struct{ q *faa.Queue }
 type faaHandle struct{ q *faa.Queue }
 
-// NewFAA builds the F&A throughput ceiling. NOT a real queue; never
+// newFAA builds the F&A throughput ceiling. NOT a real queue; never
 // feed it to the correctness checker.
-func NewFAA(cfg Config) (queueapi.Queue, error) {
+func newFAA(cfg Config) (queueapi.Queue, error) {
 	cfg = cfg.withDefaults()
 	return &faaQueue{q: faa.New(cfg.Mode)}, nil
 }
@@ -334,133 +359,6 @@ func (w *faaQueue) Name() string                     { return "FAA" }
 
 func (h *faaHandle) Enqueue(v uint64) bool   { h.q.Enqueue(v); return true }
 func (h *faaHandle) Dequeue() (uint64, bool) { return h.q.Dequeue() }
-
-// --- Sharded composition ---
-
-type shardedQueue struct{ q *sharded.Queue[uint64] }
-type shardedHandle struct{ h *sharded.Handle[uint64] }
-
-// NewShardedWCQ builds the sharded composition over wCQ sub-queues:
-// cfg.Shards independent rings with per-handle enqueue affinity and
-// work-stealing dequeue. cfg.Capacity is the TOTAL capacity, split
-// evenly across shards.
-func NewShardedWCQ(cfg Config) (queueapi.Queue, error) {
-	cfg = cfg.withDefaults()
-	q, err := sharded.New[uint64](cfg.Capacity, cfg.MaxThreads, &sharded.Options{
-		Shards: cfg.Shards,
-		WCQ:    wcqOptions(cfg),
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &shardedQueue{q: q}, nil
-}
-
-func (w *shardedQueue) Handle() (queueapi.Handle, error) {
-	h, err := w.q.Register()
-	if err != nil {
-		return nil, err
-	}
-	return &shardedHandle{h: h}, nil
-}
-func (w *shardedQueue) Cap() uint64       { return w.q.Cap() }
-func (w *shardedQueue) Footprint() uint64 { return w.q.Footprint() }
-func (w *shardedQueue) Name() string      { return "Sharded" }
-
-func (h *shardedHandle) Enqueue(v uint64) bool   { return h.h.Enqueue(v) }
-func (h *shardedHandle) Dequeue() (uint64, bool) { return h.h.Dequeue() }
-
-// EnqueueBatch/DequeueBatch expose the native queueapi.Batcher: the
-// sharded queue pays shard selection once per batch instead of once
-// per value.
-func (h *shardedHandle) EnqueueBatch(vs []uint64) int  { return h.h.EnqueueBatch(vs) }
-func (h *shardedHandle) DequeueBatch(out []uint64) int { return h.h.DequeueBatch(out) }
-
-// --- Unbounded linked-ring queues (Appendix A) ---
-
-// unboundedQueue adapts the unbounded construction to queueapi. Cap
-// is 0 (unbounded) and Footprint is live: it tracks the linked rings
-// plus the recycling pool, so memory figures see bursts grow and
-// drain.
-type unboundedQueue struct {
-	q    *unbounded.Queue[uint64]
-	name string
-}
-
-type unboundedHandle struct{ h *unbounded.Handle[uint64] }
-
-// NewLSCQ builds the unbounded queue of lock-free SCQ rings (the
-// paper's LSCQ). cfg.Capacity is the per-ring capacity, not a bound.
-func NewLSCQ(cfg Config) (queueapi.Queue, error) {
-	cfg = cfg.withDefaults()
-	q, err := unbounded.NewLSCQ[uint64](cfg.Capacity, cfg.Mode)
-	if err != nil {
-		return nil, err
-	}
-	return &unboundedQueue{q: q, name: "LSCQ"}, nil
-}
-
-// NewUWCQ builds the unbounded queue of wait-free wCQ rings (Appendix
-// A). cfg.Capacity is the per-ring capacity; cfg.MaxThreads bounds
-// the handle census.
-func NewUWCQ(cfg Config) (queueapi.Queue, error) {
-	cfg = cfg.withDefaults()
-	q, err := unbounded.NewUWCQ[uint64](cfg.Capacity, cfg.MaxThreads, wcqOptions(cfg))
-	if err != nil {
-		return nil, err
-	}
-	return &unboundedQueue{q: q, name: "UWCQ"}, nil
-}
-
-func (w *unboundedQueue) Handle() (queueapi.Handle, error) {
-	h, err := w.q.Handle()
-	if err != nil {
-		return nil, err
-	}
-	return &unboundedHandle{h: h}, nil
-}
-func (w *unboundedQueue) Cap() uint64       { return 0 }
-func (w *unboundedQueue) Footprint() uint64 { return w.q.Footprint() }
-func (w *unboundedQueue) Name() string      { return w.name }
-
-// Enqueue always succeeds (the queue grows). The internal error is
-// reserved for broken invariants the constructors rule out; panicking
-// surfaces such a break loudly instead of reading as a "full" queue
-// that checker/harness drivers would spin on forever.
-func (h *unboundedHandle) Enqueue(v uint64) bool {
-	if err := h.h.Enqueue(v); err != nil {
-		panic("queues: unbounded enqueue invariant broken: " + err.Error())
-	}
-	return true
-}
-
-// Dequeue reports empty only when the queue is genuinely empty; an
-// internal error panics for the same reason Enqueue's does.
-func (h *unboundedHandle) Dequeue() (uint64, bool) {
-	v, ok, err := h.h.Dequeue()
-	if err != nil {
-		panic("queues: unbounded dequeue invariant broken: " + err.Error())
-	}
-	return v, ok
-}
-
-// EnqueueBatch exposes the unbounded native batch: the whole batch is
-// always absorbed (rings roll over), so it returns len(vs).
-func (h *unboundedHandle) EnqueueBatch(vs []uint64) int {
-	if err := h.h.EnqueueBatch(vs); err != nil {
-		panic("queues: unbounded batch enqueue invariant broken: " + err.Error())
-	}
-	return len(vs)
-}
-
-// DequeueBatch drains across ring boundaries in FIFO order.
-func (h *unboundedHandle) DequeueBatch(out []uint64) int {
-	n, err := h.h.DequeueBatch(out)
-	if err != nil {
-		panic("queues: unbounded batch dequeue invariant broken: " + err.Error())
-	}
-	return n
-}
 
 // --- Blocking Chan facades ---
 
@@ -477,19 +375,28 @@ type chanQueue struct {
 
 type chanHandle struct{ h *wfqueue.ChanHandle[uint64] }
 
+// ringKindOption translates cfg.Ring to the public WithRingKind
+// option.
+func ringKindOption(cfg Config) wfqueue.Option {
+	if cfg.Ring == ringcore.KindSCQ {
+		return wfqueue.WithRingKind(wfqueue.RingSCQ)
+	}
+	return wfqueue.WithRingKind(wfqueue.RingWCQ)
+}
+
 // newChanBuilder adapts NewChan over the given backend to the
 // registry's Builder shape, mapping Config onto the public options.
 func newChanBuilder(name string, backend wfqueue.Backend) Builder {
 	return func(cfg Config) (queueapi.Queue, error) {
 		cfg = cfg.withDefaults()
-		opts := []wfqueue.Option{wfqueue.WithBackend(backend)}
+		opts := []wfqueue.Option{wfqueue.WithBackend(backend), ringKindOption(cfg)}
 		if cfg.Mode == atomicx.EmulatedFAA {
 			opts = append(opts, wfqueue.WithEmulatedFAA())
 		}
 		if cfg.Shards > 0 {
 			opts = append(opts, wfqueue.WithShards(cfg.Shards))
 		}
-		if o := cfg.WCQOptions; o != nil {
+		if o := cfg.Core; o != nil {
 			opts = append(opts,
 				wfqueue.WithPatience(o.EnqPatience, o.DeqPatience),
 				wfqueue.WithHelpDelay(o.HelpDelay))

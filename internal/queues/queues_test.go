@@ -9,7 +9,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/checker"
 	"repro/internal/queueapi"
-	"repro/internal/wcq"
+	"repro/internal/ringcore"
 )
 
 func testCfg() Config {
@@ -17,7 +17,7 @@ func testCfg() Config {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(Names()) != 15 {
+	if len(Names()) != 17 {
 		t.Fatalf("registry has %d entries: %v", len(Names()), Names())
 	}
 	if _, err := New("nope", testCfg()); err == nil {
@@ -80,7 +80,7 @@ func TestBlockingSlowpathConformance(t *testing.T) {
 	// The wCQ-backed Chan with patience 1 + eager helping: parked
 	// blocking ops layered over the helped slow paths.
 	cfg := testCfg()
-	cfg.WCQOptions = &wcq.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+	cfg.Core = &ringcore.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
 	q, err := New("Chan", cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -305,10 +305,10 @@ func TestBoundedFullBehaviour(t *testing.T) {
 }
 
 func TestFootprintSemantics(t *testing.T) {
-	// wCQ, SCQ and Sharded have fixed footprints; LCRQ's grows with
-	// allocated rings.
+	// wCQ, SCQ and the sharded compositions have footprints from
+	// construction; LCRQ's grows with allocated rings.
 	cfg := testCfg()
-	for _, name := range []string{"wCQ", "SCQ", "Sharded"} {
+	for _, name := range []string{"wCQ", "SCQ", "Sharded", "ShardedUnbounded"} {
 		q, _ := New(name, cfg)
 		if q.Footprint() == 0 {
 			t.Errorf("%s: zero footprint", name)
@@ -349,8 +349,8 @@ func TestMPMCBatched(t *testing.T) {
 // queueapi.Batcher: every ring-based queue and facade in this
 // repository, i.e. everything but the paper's external baselines.
 func TestNativeBatchers(t *testing.T) {
-	native := []string{"wCQ", "SCQ", "Sharded", "LSCQ", "UWCQ",
-		"Chan", "ChanSCQ", "ChanSharded", "ChanUnbounded"}
+	native := []string{"wCQ", "SCQ", "Sharded", "ShardedUnbounded", "LSCQ", "UWCQ",
+		"Chan", "ChanSCQ", "ChanSharded", "ChanShardedUnbounded", "ChanUnbounded"}
 	for _, name := range native {
 		q, err := New(name, testCfg())
 		if err != nil {

@@ -105,8 +105,10 @@ func TestRingBatchFIFO(t *testing.T) {
 	}
 }
 
-// TestQueueBatchConcurrent drives the payload-level batch ops under
-// real concurrency: exactly-once delivery and per-producer order.
+// TestQueueBatchConcurrent drives the payload-level batch ops (one
+// per-goroutine QueueHandle each, carrying the zero-alloc scratch)
+// under real concurrency: exactly-once delivery and per-producer
+// order.
 func TestQueueBatchConcurrent(t *testing.T) {
 	const (
 		producers   = 3
@@ -128,6 +130,7 @@ func TestQueueBatchConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			h := q.Register()
 			buf := make([]uint64, 0, batch)
 			for i := 0; i < perProducer; {
 				buf = buf[:0]
@@ -136,7 +139,7 @@ func TestQueueBatchConcurrent(t *testing.T) {
 				}
 				sent := 0
 				for sent < len(buf) {
-					n := q.EnqueueBatch(buf[sent:])
+					n := h.EnqueueBatch(buf[sent:])
 					sent += n
 					if n == 0 {
 						runtime.Gosched()
@@ -151,6 +154,7 @@ func TestQueueBatchConcurrent(t *testing.T) {
 		cg.Add(1)
 		go func() {
 			defer cg.Done()
+			h := q.Register()
 			out := make([]uint64, batch)
 			last := map[uint64]uint64{}
 			for {
@@ -160,7 +164,7 @@ func TestQueueBatchConcurrent(t *testing.T) {
 				if done {
 					return
 				}
-				n := q.DequeueBatch(out)
+				n := h.DequeueBatch(out)
 				if n == 0 {
 					runtime.Gosched()
 					continue

@@ -482,68 +482,102 @@ func (q *Queue[T]) EnqueueSealed(v T) bool {
 	return q.Enqueue(v)
 }
 
-// batchChunk sizes the stack scratch the payload batch operations use
-// to carry index runs between fq, the data array and aq. Queue[T] has
-// no per-goroutine handle to hang a buffer off, and heap scratch would
-// break the "never allocates after construction" contract, so batches
-// are processed in chunks of this many indices (one ring F&A each).
-const batchChunk = 128
+// QueueHandle is a goroutine's view of a Queue. Unlike wCQ's handles
+// it draws on no thread census — SCQ is census-free, and Register
+// never fails — but like them it must not be shared between
+// goroutines: it carries the per-handle index scratch the batch
+// operations use, the same zero-allocation strategy as the wCQ
+// payload layer (before this type, SCQ batches chunked through a
+// 128-slot stack buffer instead — one reservation F&A per chunk; the
+// handle pays one per whole batch).
+type QueueHandle[T any] struct {
+	q *Queue[T]
+	// idxBuf carries index runs between fq, the data array and aq in
+	// the batch operations. It grows to the largest batch this handle
+	// has seen and is then reused forever, so the steady-state batch
+	// hot path allocates nothing.
+	idxBuf []uint64
+}
+
+// Register returns a fresh per-goroutine handle. SCQ has no thread
+// census, so any number of handles may be created.
+func (q *Queue[T]) Register() *QueueHandle[T] {
+	return &QueueHandle[T]{q: q}
+}
+
+// scratch returns the handle's index buffer, grown to hold n entries
+// but never past the ring capacity — at most Cap() indices can move
+// per call, so a batch far larger than the ring must not pin a
+// buffer sized to the batch (short counts are within the batch
+// contract; the caller resumes with the remainder).
+func (h *QueueHandle[T]) scratch(n int) []uint64 {
+	if c := int(h.q.Cap()); n > c {
+		n = c
+	}
+	if cap(h.idxBuf) < n {
+		h.idxBuf = make([]uint64, n)
+	}
+	return h.idxBuf[:n]
+}
+
+// Enqueue appends v; it returns false when the queue is full.
+func (h *QueueHandle[T]) Enqueue(v T) bool { return h.q.Enqueue(v) }
+
+// Dequeue removes and returns the oldest value; ok is false when the
+// queue is empty.
+func (h *QueueHandle[T]) Dequeue() (v T, ok bool) { return h.q.Dequeue() }
+
+// EnqueueSealed appends v unless the queue is full or sealed.
+func (h *QueueHandle[T]) EnqueueSealed(v T) bool { return h.q.EnqueueSealed(v) }
 
 // EnqueueBatch appends a prefix of vs in order and returns its length;
 // a short count means the queue filled up mid-batch. Index traffic
-// with fq/aq moves through the native ring batch operations, so a
-// chunk pays one F&A per ring instead of one per element.
-func (q *Queue[T]) EnqueueBatch(vs []T) int {
-	var buf [batchChunk]uint64
-	total := 0
-	for total < len(vs) {
-		c := min(len(vs)-total, batchChunk)
-		n := q.fq.DequeueBatch(buf[:c])
-		for j := 0; j < n; j++ {
-			q.data[buf[j]] = vs[total+j]
-		}
-		q.aq.EnqueueBatch(buf[:n])
-		total += n
-		if n < c {
-			break // fq ran dry: the queue is (transiently) full
-		}
+// with fq/aq moves through the native ring batch operations: one
+// reservation F&A per ring for the whole batch.
+func (h *QueueHandle[T]) EnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
 	}
-	return total
+	q := h.q
+	buf := h.scratch(len(vs))
+	n := q.fq.DequeueBatch(buf)
+	for j := 0; j < n; j++ {
+		q.data[buf[j]] = vs[j]
+	}
+	q.aq.EnqueueBatch(buf[:n])
+	return n
 }
 
 // DequeueBatch fills a prefix of out with the oldest values and
 // returns its length; 0 means the queue appeared empty.
-func (q *Queue[T]) DequeueBatch(out []T) int {
-	var buf [batchChunk]uint64
-	var zero T
-	total := 0
-	for total < len(out) {
-		c := min(len(out)-total, batchChunk)
-		n := q.aq.DequeueBatch(buf[:c])
-		for j := 0; j < n; j++ {
-			idx := buf[j]
-			out[total+j] = q.data[idx]
-			q.data[idx] = zero // drop references for GC hygiene
-		}
-		q.fq.EnqueueBatch(buf[:n])
-		total += n
-		if n < c {
-			break // aq appeared empty
-		}
+func (h *QueueHandle[T]) DequeueBatch(out []T) int {
+	if len(out) == 0 {
+		return 0
 	}
-	return total
+	q := h.q
+	buf := h.scratch(len(out))
+	n := q.aq.DequeueBatch(buf)
+	var zero T
+	for j := 0; j < n; j++ {
+		idx := buf[j]
+		out[j] = q.data[idx]
+		q.data[idx] = zero // drop references for GC hygiene
+	}
+	q.fq.EnqueueBatch(buf[:n])
+	return n
 }
 
 // EnqueueSealedBatch is EnqueueBatch unless the queue is sealed, in
 // which case it appends nothing (the unbounded construction's batch
 // enqueue rolls over to a fresh ring on a short count).
-func (q *Queue[T]) EnqueueSealedBatch(vs []T) int {
+func (h *QueueHandle[T]) EnqueueSealedBatch(vs []T) int {
+	q := h.q
 	q.inflight.Add(1)
 	defer q.inflight.Add(-1)
 	if q.sealed.Load() {
 		return 0
 	}
-	return q.EnqueueBatch(vs)
+	return h.EnqueueBatch(vs)
 }
 
 // Dequeue removes and returns the oldest value. ok is false when the

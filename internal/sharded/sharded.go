@@ -1,8 +1,14 @@
-// Package sharded composes N independent wCQ (or SCQ) shards into one
-// MPMC FIFO that spreads the single fetch-and-add hot word of the
+// Package sharded composes N independent ring cores into one MPMC
+// FIFO that spreads the single fetch-and-add hot word of the
 // underlying queues across N head/tail pairs — the "independent
 // sub-structure" scaling step the paper's evaluation motivates once a
 // single ring saturates.
+//
+// Shards are consumed exclusively through the ringcore contract, so
+// one code path serves the whole kind x composition matrix: bounded
+// wCQ or SCQ shards (Options.Kind), and unbounded linked-ring shards
+// (Options.Unbounded) whose per-shard growth removes the global
+// capacity bound entirely.
 //
 // # Semantics
 //
@@ -25,7 +31,8 @@
 //   - Enqueue reports full when the handle's HOME shard is full, even
 //     if other shards have room (capacity is per-shard, Cap() is the
 //     sum). Producers that spin on full make progress as long as any
-//     consumer is draining, because consumers scan every shard.
+//     consumer is draining, because consumers scan every shard. With
+//     unbounded shards "full" cannot happen at all.
 //   - Dequeue reports empty only after one full scan of all shards; a
 //     value enqueued to an already-scanned shard during the scan may
 //     be missed once, like any emptiness check that is not a snapshot.
@@ -47,28 +54,9 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"repro/internal/atomicx"
-	"repro/internal/scq"
-	"repro/internal/wcq"
+	"repro/internal/ringcore"
+	"repro/internal/unbounded"
 )
-
-// Backend selects the queue algorithm used for each shard.
-type Backend int
-
-const (
-	// WCQ shards are wait-free (the default).
-	WCQ Backend = iota
-	// SCQ shards are lock-free and need no per-thread census.
-	SCQ
-)
-
-// String names the backend as the queue registry does.
-func (b Backend) String() string {
-	if b == SCQ {
-		return "SCQ"
-	}
-	return "wCQ"
-}
 
 // DefaultShards is the shard count used when Options.Shards is 0.
 const DefaultShards = 4
@@ -76,14 +64,20 @@ const DefaultShards = 4
 // Options tunes the sharded composition.
 type Options struct {
 	// Shards is the number of independent sub-queues (default
-	// DefaultShards). Total capacity is split evenly, so capacity /
-	// Shards must itself be a power of two >= 2.
+	// DefaultShards). For bounded shards the total capacity is split
+	// evenly, so capacity / Shards must itself be a power of two >= 2.
 	Shards int
-	// Backend selects wCQ (wait-free, default) or SCQ (lock-free).
-	Backend Backend
-	// WCQ tunes the wCQ shards; nil selects the paper's defaults. The
-	// Mode field also applies to SCQ shards.
-	WCQ *wcq.Options
+	// Kind selects the ring core each shard is built from:
+	// wait-free wCQ (the default) or lock-free SCQ.
+	Kind ringcore.Kind
+	// Unbounded makes every shard an unbounded linked-ring queue of
+	// the configured Kind (per-shard growth, no global capacity):
+	// the capacity argument of New becomes each shard's ring size
+	// instead of a bound, Cap() reports 0, Enqueue never reports
+	// full, and Footprint() is live.
+	Unbounded bool
+	// Core tunes the ring cores; nil selects the paper's defaults.
+	Core *ringcore.Options
 }
 
 func (o *Options) withDefaults() Options {
@@ -97,27 +91,26 @@ func (o *Options) withDefaults() Options {
 	return v
 }
 
-// Queue is a sharded MPMC FIFO of values of type T. Exactly one of
-// wqs/sqs is non-nil, selected by the backend; the split (instead of
-// an interface per shard) keeps the hot path free of dynamic dispatch
-// so the thin wCQ handle wrappers still inline.
+// Queue is a sharded MPMC FIFO of values of type T over
+// []ringcore.Core — one code path regardless of shard kind or
+// boundedness. The pre-ringcore implementation kept parallel concrete
+// arrays per kind so the scalar hot path avoided dynamic dispatch;
+// this version deliberately trades that (one indirect call per
+// scalar op, a few percent at 1 vCPU) for a composition that works
+// with every current and future core, and the batch paths amortize
+// the dispatch along with everything else.
 type Queue[T any] struct {
-	wqs      []*wcq.Queue[T]
-	sqs      []*scq.Queue[T]
-	perCap   uint64
-	backend  Backend
-	nextHome atomic.Int64
+	cores     []ringcore.Core[T]
+	perCap    uint64 // per-shard capacity; 0 with unbounded shards
+	kind      ringcore.Kind
+	unbounded bool
+	nextHome  atomic.Int64
 }
 
 // Handle is a goroutine's capability to use a sharded Queue. Like the
-// underlying wCQ handles it must not be shared between goroutines.
-// Exactly one of (homeW, ws) / (homeS, ss) is populated, matching the
-// queue's backend.
+// underlying core handles it must not be shared between goroutines.
 type Handle[T any] struct {
-	homeW  *wcq.QueueHandle[T]
-	homeS  *scq.Queue[T]
-	ws     []*wcq.QueueHandle[T]
-	ss     []*scq.Queue[T]
+	hs     []ringcore.Handle[T]
 	n      int // shard count
 	home   int
 	cursor int // steal scan position, persists across calls
@@ -131,14 +124,28 @@ type Handle[T any] struct {
 // no shard starves even when one stays hot.
 const stealStride = 128
 
-// New returns an empty sharded queue of total capacity `capacity`
-// (split evenly across shards), usable by at most maxThreads handles.
-// capacity / shards must be a power of two >= 2, and every handle
-// registers with every shard, so each shard is built for maxThreads.
+// New returns an empty sharded queue usable by at most maxThreads
+// handles. With bounded shards (the default), capacity is the TOTAL
+// capacity split evenly across shards, and capacity / shards must be
+// a power of two >= 2. With Options.Unbounded, capacity is instead
+// the ring size of EVERY shard's linked rings (a power of two >= 2, a
+// growth granularity rather than a bound). Every handle registers
+// with every shard, so each shard is built for maxThreads.
 func New[T any](capacity uint64, maxThreads int, opts *Options) (*Queue[T], error) {
 	o := opts.withDefaults()
 	if o.Shards < 1 {
 		return nil, fmt.Errorf("sharded: shard count must be >= 1, got %d", o.Shards)
+	}
+	q := &Queue[T]{kind: o.Kind, unbounded: o.Unbounded}
+	if o.Unbounded {
+		for i := 0; i < o.Shards; i++ {
+			u, err := unbounded.New[T](o.Kind, capacity, maxThreads, o.Core)
+			if err != nil {
+				return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
+			}
+			q.cores = append(q.cores, u.Core())
+		}
+		return q, nil
 	}
 	if capacity == 0 || capacity%uint64(o.Shards) != 0 {
 		return nil, fmt.Errorf("sharded: capacity %d not divisible by %d shards", capacity, o.Shards)
@@ -148,26 +155,13 @@ func New[T any](capacity uint64, maxThreads int, opts *Options) (*Queue[T], erro
 		return nil, fmt.Errorf("sharded: per-shard capacity %d (= %d/%d) must be a power of two >= 2",
 			per, capacity, o.Shards)
 	}
-	q := &Queue[T]{perCap: per, backend: o.Backend}
-	var mode atomicx.Mode
-	if o.WCQ != nil {
-		mode = o.WCQ.Mode
-	}
+	q.perCap = per
 	for i := 0; i < o.Shards; i++ {
-		switch o.Backend {
-		case SCQ:
-			sq, err := scq.NewQueue[T](per, mode)
-			if err != nil {
-				return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
-			}
-			q.sqs = append(q.sqs, sq)
-		default:
-			wq, err := wcq.NewQueue[T](per, maxThreads, o.WCQ)
-			if err != nil {
-				return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
-			}
-			q.wqs = append(q.wqs, wq)
+		core, err := ringcore.New[T](o.Kind, per, maxThreads, o.Core)
+		if err != nil {
+			return nil, fmt.Errorf("sharded: shard %d: %w", i, err)
 		}
+		q.cores = append(q.cores, core)
 	}
 	return q, nil
 }
@@ -178,59 +172,70 @@ func (q *Queue[T]) Register() (*Handle[T], error) {
 	n := q.Shards()
 	home := int((q.nextHome.Add(1) - 1) % int64(n))
 	h := &Handle[T]{n: n, home: home, cursor: home}
-	if q.sqs != nil {
-		// SCQ shards are stateless per-thread: the queue is the handle.
-		h.ss = q.sqs
-		h.homeS = q.sqs[home]
-		return h, nil
-	}
-	h.ws = make([]*wcq.QueueHandle[T], n)
-	for i, wq := range q.wqs {
-		wh, err := wq.Register()
+	h.hs = make([]ringcore.Handle[T], n)
+	for i, core := range q.cores {
+		ch, err := core.Acquire()
 		if err != nil {
 			return nil, fmt.Errorf("sharded: registering with shard %d: %w", i, err)
 		}
-		h.ws[i] = wh
+		h.hs[i] = ch
 	}
-	h.homeW = h.ws[home]
 	return h, nil
 }
 
 // Shards returns the shard count.
-func (q *Queue[T]) Shards() int {
-	if q.sqs != nil {
-		return len(q.sqs)
-	}
-	return len(q.wqs)
-}
+func (q *Queue[T]) Shards() int { return len(q.cores) }
 
-// Backend returns the per-shard algorithm.
-func (q *Queue[T]) Backend() Backend { return q.backend }
+// Kind returns the ring kind the shards are built from.
+func (q *Queue[T]) Kind() ringcore.Kind { return q.kind }
 
-// Cap returns the total capacity (sum over shards).
+// Unbounded reports whether the shards are unbounded linked-ring
+// queues.
+func (q *Queue[T]) Unbounded() bool { return q.unbounded }
+
+// Cap returns the total capacity (sum over shards), or 0 with
+// unbounded shards.
 func (q *Queue[T]) Cap() uint64 { return q.perCap * uint64(q.Shards()) }
 
-// Footprint returns the bytes allocated at construction, summed over
-// shards; like wCQ, nothing is allocated afterwards.
+// Footprint returns the bytes the shards retain right now, summed
+// through the ringcore contract: a constant for bounded shards, a
+// live grow-and-shrink figure for unbounded ones.
 func (q *Queue[T]) Footprint() uint64 {
 	var total uint64
-	for _, wq := range q.wqs {
-		total += wq.Footprint()
-	}
-	for _, sq := range q.sqs {
-		total += sq.Footprint()
+	for _, c := range q.cores {
+		total += c.Footprint()
 	}
 	return total
 }
 
+// Core exposes the sharded queue itself through the ringcore.Core
+// contract, so the registry's generic adapter (and any further
+// composition) consumes it exactly like a single ring core.
+func (q *Queue[T]) Core() ringcore.Core[T] { return shardedCore[T]{q} }
+
+// shardedCore adapts *Queue to ringcore.Core.
+type shardedCore[T any] struct{ q *Queue[T] }
+
+func (c shardedCore[T]) Acquire() (ringcore.Handle[T], error) { return c.q.Register() }
+func (c shardedCore[T]) Cap() uint64                          { return c.q.Cap() }
+func (c shardedCore[T]) Footprint() uint64                    { return c.q.Footprint() }
+func (c shardedCore[T]) Kind() ringcore.Kind                  { return c.q.kind }
+
 // Enqueue appends v to the handle's home shard; false means that shard
-// is full (see the package comment for the capacity relaxation).
+// is full (see the package comment for the capacity relaxation; with
+// unbounded shards it cannot happen).
 func (h *Handle[T]) Enqueue(v T) bool {
-	if h.homeW != nil {
-		return h.homeW.Enqueue(v)
-	}
-	return h.homeS.Enqueue(v)
+	return h.hs[h.home].Enqueue(v)
 }
+
+// EnqueueSealed is Enqueue: a sharded composition is never sealed
+// (sealing is the linked-ring recycling lifecycle, which lives below
+// this layer). It exists so *Handle satisfies ringcore.Handle.
+func (h *Handle[T]) EnqueueSealed(v T) bool { return h.Enqueue(v) }
+
+// EnqueueSealedBatch is EnqueueBatch, for the same reason as
+// EnqueueSealed.
+func (h *Handle[T]) EnqueueSealedBatch(vs []T) int { return h.EnqueueBatch(vs) }
 
 // Dequeue removes the oldest value of some shard: the home shard
 // first (the hit case in balanced workloads — one probe, and every
@@ -238,23 +243,10 @@ func (h *Handle[T]) Enqueue(v T) bool {
 // scan over the others from the persistent cursor. ok is false only
 // after home plus a full scan found every shard empty.
 func (h *Handle[T]) Dequeue() (v T, ok bool) {
-	if h.homeW != nil {
-		if v, ok = h.homeW.Dequeue(); ok {
-			return v, ok
-		}
-	} else if v, ok = h.homeS.Dequeue(); ok {
+	if v, ok = h.hs[h.home].Dequeue(); ok {
 		return v, ok
 	}
 	return h.steal()
-}
-
-// probe is one dequeue attempt against shard s (steal path only; the
-// backend branch is off the hot path).
-func (h *Handle[T]) probe(s int) (T, bool) {
-	if h.ws != nil {
-		return h.ws[s].Dequeue()
-	}
-	return h.ss[s].Dequeue()
 }
 
 // steal scans the foreign shards round-robin from the cursor. On a
@@ -269,7 +261,7 @@ func (h *Handle[T]) steal() (v T, ok bool) {
 		if s == h.home {
 			continue // already probed
 		}
-		if v, ok := h.probe(s); ok {
+		if v, ok := h.hs[s].Dequeue(); ok {
 			if s == h.cursor {
 				h.streak++
 			} else {
@@ -293,21 +285,10 @@ func (h *Handle[T]) steal() (v T, ok bool) {
 // through the shard's native ring batch (one reservation F&A per
 // batch); it returns how many values were enqueued (a prefix of vs,
 // preserving per-handle FIFO order — a short count means the home
-// shard filled up). The home shard is resolved once for the whole
-// batch.
+// shard filled up, which unbounded shards never do). The home shard
+// is resolved once for the whole batch.
 func (h *Handle[T]) EnqueueBatch(vs []T) int {
-	if w := h.homeW; w != nil {
-		return w.EnqueueBatch(vs)
-	}
-	return h.homeS.EnqueueBatch(vs)
-}
-
-// probeBatch is one native batch dequeue against shard s.
-func (h *Handle[T]) probeBatch(s int, out []T) int {
-	if h.ws != nil {
-		return h.ws[s].DequeueBatch(out)
-	}
-	return h.ss[s].DequeueBatch(out)
+	return h.hs[h.home].EnqueueBatch(vs)
 }
 
 // drainInto repeatedly batch-dequeues shard s into out until out is
@@ -315,7 +296,7 @@ func (h *Handle[T]) probeBatch(s int, out []T) int {
 // written and whether the shard looked drained.
 func (h *Handle[T]) drainInto(s int, out []T) (n int, drained bool) {
 	for n < len(out) {
-		got := h.probeBatch(s, out[n:])
+		got := h.hs[s].DequeueBatch(out[n:])
 		if got == 0 {
 			return n, true
 		}

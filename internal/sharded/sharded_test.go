@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/checker"
 	"repro/internal/queueapi"
+	"repro/internal/ringcore"
 	"repro/internal/sharded"
-	"repro/internal/wcq"
 )
 
 // apiQueue adapts the generic sharded queue to queueapi for the
@@ -71,8 +71,11 @@ func TestDefaultsAndAccessors(t *testing.T) {
 	if q.Footprint() == 0 {
 		t.Fatal("zero footprint")
 	}
-	if q.Backend() != sharded.WCQ {
-		t.Fatalf("Backend() = %v, want wCQ", q.Backend())
+	if q.Kind() != ringcore.KindWCQ {
+		t.Fatalf("Kind() = %v, want wCQ", q.Kind())
+	}
+	if q.Unbounded() {
+		t.Fatal("default shards reported unbounded")
 	}
 }
 
@@ -195,9 +198,9 @@ func TestDequeueBatchDrainsAcrossShards(t *testing.T) {
 }
 
 func TestSCQBackend(t *testing.T) {
-	q := mustNew(t, 64, 4, &sharded.Options{Shards: 4, Backend: sharded.SCQ})
-	if q.Backend() != sharded.SCQ {
-		t.Fatalf("Backend() = %v, want SCQ", q.Backend())
+	q := mustNew(t, 64, 4, &sharded.Options{Shards: 4, Kind: ringcore.KindSCQ})
+	if q.Kind() != ringcore.KindSCQ {
+		t.Fatalf("Kind() = %v, want SCQ", q.Kind())
 	}
 	a := &apiQueue{q: q}
 	if err := checker.Run(a, checker.Config{Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 64}); err != nil {
@@ -227,10 +230,63 @@ func TestCheckerSlowPath(t *testing.T) {
 	// Patience 1 forces the wCQ helped slow path inside every shard.
 	q := mustNew(t, 64, 14, &sharded.Options{
 		Shards: 2,
-		WCQ:    &wcq.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1},
+		Core:   &ringcore.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1},
 	})
 	a := &apiQueue{q: q}
 	if err := checker.Run(a, checker.Config{Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedShards(t *testing.T) {
+	// capacity is each shard's ring size here; tiny rings force real
+	// turnover inside every shard during the checker run.
+	q := mustNew(t, 16, 16, &sharded.Options{Shards: 4, Unbounded: true})
+	if !q.Unbounded() {
+		t.Fatal("Unbounded() = false")
+	}
+	if q.Cap() != 0 {
+		t.Fatalf("Cap() = %d, want 0 (no global bound)", q.Cap())
+	}
+	rest := q.Footprint()
+	if rest == 0 {
+		t.Fatal("zero footprint at rest")
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One handle's values go to its home shard and grow it far past a
+	// single ring; FIFO must survive the rollovers, and the footprint
+	// must rise and then come back near rest after the drain.
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("unbounded shard reported full at %d", i)
+		}
+	}
+	if q.Footprint() <= rest {
+		t.Fatal("footprint did not grow across a buffered burst")
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if got := q.Footprint(); got > 8*rest {
+		t.Fatalf("retained %d B after drain (rest %d B)", got, rest)
+	}
+	a := &apiQueue{q: q}
+	if err := checker.Run(a, checker.Config{Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedShardsSCQKind(t *testing.T) {
+	q := mustNew(t, 16, 16, &sharded.Options{Shards: 2, Unbounded: true, Kind: ringcore.KindSCQ})
+	a := &apiQueue{q: q}
+	if err := checker.RunBatch(a, checker.Config{Producers: 3, Consumers: 3, PerProducer: 3000, Capacity: 64}, 16); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,11 @@
 // drained rings. Outer-list operations are rare, so throughput is
 // dominated by the ring operations, as the paper observes.
 //
+// Both variants are one construction: the rings are consumed through
+// the ringcore contract (ringcore.Ring / ringcore.Handle), so the
+// kind is a constructor parameter instead of a pair of hand-written
+// adapter stacks, and any future ring kind rides along for free.
+//
 // To keep the paper's "bounded memory usage" story honest under churn,
 // drained rings are not abandoned to the garbage collector: a bounded
 // free-list (the ring pool) recycles them, so a steady
@@ -29,37 +34,14 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/atomicx"
 	"repro/internal/pad"
-	"repro/internal/scq"
-	"repro/internal/wcq"
+	"repro/internal/ringcore"
 )
 
 // DefaultPoolRings is the default capacity of the sealed-ring
 // free-list: how many drained rings a queue retains for reuse before
 // handing surplus rings to the garbage collector.
 const DefaultPoolRings = 4
-
-// ringView is one goroutine's access to one ring generation.
-type ringView[T any] interface {
-	EnqueueSealed(v T) bool
-	EnqueueSealedBatch(vs []T) int
-	Dequeue() (T, bool)
-	DequeueBatch(out []T) int
-}
-
-// ringCtl is the per-ring control interface used by the outer list.
-// Views obtained from a ringCtl stay valid across Seal/Reset cycles,
-// which is what lets handles cache one view per ring forever (a wCQ
-// ring's thread census is consumed once per handle, not once per
-// generation).
-type ringCtl[T any] interface {
-	Seal()
-	Reset()
-	Drained() bool
-	View() (ringView[T], error)
-	Footprint() uint64
-}
 
 // node is one link of the outer list. Nodes are never reused (only
 // their rings are), so the head/tail/next pointers cannot suffer ABA.
@@ -74,7 +56,7 @@ type ringCtl[T any] interface {
 // touching the ring). Only unpinned retired rings enter the pool, so
 // a recycled ring is reachable exclusively through its new node.
 type node[T any] struct {
-	r       ringCtl[T]
+	r       ringcore.Ring[T]
 	next    atomic.Pointer[node[T]]
 	pins    atomic.Int64
 	retired atomic.Bool
@@ -90,15 +72,17 @@ type Queue[T any] struct {
 	_       pad.Line
 	tail    atomic.Pointer[node[T]]
 	_       pad.Line
-	mk      func() (ringCtl[T], error)
+	mk      func() (ringcore.Ring[T], error)
 	pool    ringPool[T]
 	allocd  atomic.Int64 // rings ever constructed
 	reused  atomic.Int64 // rings served from the pool
 	handles atomic.Int64
-	// maxHandles bounds Handle() calls (0 = unlimited). UWCQ sets it to
-	// the per-ring thread census so view registration can never fail.
+	// maxHandles bounds Handle() calls (0 = unlimited). Census kinds
+	// (wCQ) set it to the per-ring thread census so view registration
+	// can never fail.
 	maxHandles int
 	ringCap    uint64
+	kind       ringcore.Kind
 }
 
 // Handle is a goroutine's view of a Queue. It lazily obtains (and
@@ -107,42 +91,27 @@ type Queue[T any] struct {
 type Handle[T any] struct {
 	q     *Queue[T]
 	mu    sync.Mutex // protects views (a handle may be polled from tests)
-	views map[ringCtl[T]]ringView[T]
+	views map[ringcore.Ring[T]]ringcore.Handle[T]
 }
 
-// NewLSCQ returns an unbounded queue of lock-free SCQ rings (the
-// paper's LSCQ), each holding ringCap values. It accepts any number of
-// handles (SCQ has no thread census).
-func NewLSCQ[T any](ringCap uint64, mode atomicx.Mode) (*Queue[T], error) {
-	return newQueue[T](ringCap, 0, func() (ringCtl[T], error) {
-		q, err := scq.NewQueue[T](ringCap, mode)
-		if err != nil {
-			return nil, err
+// New returns an unbounded queue linking rings of the given kind,
+// each holding ringCap values (a power of two >= 2). For census ring
+// kinds (KindWCQ, the paper's UWCQ) maxThreads bounds Handle — the
+// census is per ring, and bounding handles up front is what makes
+// every later ring registration infallible; census-free kinds (the
+// paper's LSCQ) accept any number of handles and ignore maxThreads.
+func New[T any](kind ringcore.Kind, ringCap uint64, maxThreads int, opts *ringcore.Options) (*Queue[T], error) {
+	maxHandles := 0
+	if kind.Census() {
+		if maxThreads < 1 {
+			return nil, fmt.Errorf("unbounded: maxThreads must be >= 1 for ring kind %s, got %d", kind, maxThreads)
 		}
-		return scqCtl[T]{q}, nil
-	})
-}
-
-// NewUWCQ returns an unbounded queue of wait-free wCQ rings (Appendix
-// A), each holding ringCap values and supporting maxThreads handles.
-// Handle fails once maxThreads handles exist — the census is per ring,
-// and bounding handles up front is what makes every later ring
-// registration infallible.
-func NewUWCQ[T any](ringCap uint64, maxThreads int, opts *wcq.Options) (*Queue[T], error) {
-	if maxThreads < 1 {
-		return nil, fmt.Errorf("unbounded: maxThreads must be >= 1, got %d", maxThreads)
+		maxHandles = maxThreads
 	}
-	return newQueue[T](ringCap, maxThreads, func() (ringCtl[T], error) {
-		q, err := wcq.NewQueue[T](ringCap, maxThreads, opts)
-		if err != nil {
-			return nil, err
-		}
-		return wcqCtl[T]{q}, nil
-	})
-}
-
-func newQueue[T any](ringCap uint64, maxHandles int, mk func() (ringCtl[T], error)) (*Queue[T], error) {
-	q := &Queue[T]{mk: mk, ringCap: ringCap, maxHandles: maxHandles}
+	mk := func() (ringcore.Ring[T], error) {
+		return ringcore.New[T](kind, ringCap, maxThreads, opts)
+	}
+	q := &Queue[T]{mk: mk, ringCap: ringCap, maxHandles: maxHandles, kind: kind}
 	q.pool.max = DefaultPoolRings
 	first, err := mk()
 	if err != nil {
@@ -159,15 +128,18 @@ func newQueue[T any](ringCap uint64, maxHandles int, mk func() (ringCtl[T], erro
 // Call it before the queue is shared between goroutines.
 func (q *Queue[T]) SetPoolCap(n int) { q.pool.max = n }
 
-// Handle returns a per-goroutine view. For UWCQ it fails once
-// maxThreads handles exist.
+// Handle returns a per-goroutine view. For census ring kinds it fails
+// once maxThreads handles exist.
 func (q *Queue[T]) Handle() (*Handle[T], error) {
 	if q.maxHandles > 0 && q.handles.Add(1) > int64(q.maxHandles) {
 		q.handles.Add(-1)
 		return nil, fmt.Errorf("unbounded: handle census exhausted (maxThreads %d)", q.maxHandles)
 	}
-	return &Handle[T]{q: q, views: make(map[ringCtl[T]]ringView[T])}, nil
+	return &Handle[T]{q: q, views: make(map[ringcore.Ring[T]]ringcore.Handle[T])}, nil
 }
+
+// Kind returns the ring kind the queue links.
+func (q *Queue[T]) Kind() ringcore.Kind { return q.kind }
 
 // RingCap returns the capacity of each ring.
 func (q *Queue[T]) RingCap() uint64 { return q.ringCap }
@@ -211,13 +183,13 @@ func (q *Queue[T]) Footprint() uint64 {
 // an append or a retire), so a handle registers with any given ring
 // at most once — the invariant that keeps wCQ's per-ring census
 // sufficient.
-func (h *Handle[T]) view(r ringCtl[T]) (ringView[T], error) {
+func (h *Handle[T]) view(r ringcore.Ring[T]) (ringcore.Handle[T], error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if v, ok := h.views[r]; ok {
 		return v, nil
 	}
-	v, err := r.View()
+	v, err := r.Acquire()
 	if err != nil {
 		return nil, err
 	}
@@ -242,8 +214,8 @@ func (h *Handle[T]) view(r ringCtl[T]) (ringView[T], error) {
 // live list between the scans (linkRing unmarks only after the node
 // is linked), and a missed ring costs a second census registration on
 // reuse.
-func (q *Queue[T]) reachableRings() map[ringCtl[T]]bool {
-	keep := map[ringCtl[T]]bool{}
+func (q *Queue[T]) reachableRings() map[ringcore.Ring[T]]bool {
+	keep := map[ringcore.Ring[T]]bool{}
 	q.pool.mu.Lock()
 	defer q.pool.mu.Unlock()
 	for ln := q.head.Load(); ln != nil; ln = ln.next.Load() {
@@ -263,7 +235,7 @@ func (q *Queue[T]) reachableRings() map[ringCtl[T]]bool {
 // registered as in flight until linkRing or returnRing retires the
 // append, so concurrent view pruning cannot orphan census
 // registrations.
-func (q *Queue[T]) takeRing() (ringCtl[T], error) {
+func (q *Queue[T]) takeRing() (ringcore.Ring[T], error) {
 	if r, ok := q.pool.get(); ok {
 		r.Reset()
 		q.reused.Add(1)
@@ -279,12 +251,12 @@ func (q *Queue[T]) takeRing() (ringCtl[T], error) {
 }
 
 // linkRing retires a successful append.
-func (q *Queue[T]) linkRing(r ringCtl[T]) { q.pool.unmarkInflight(r) }
+func (q *Queue[T]) linkRing(r ringcore.Ring[T]) { q.pool.unmarkInflight(r) }
 
 // returnRing retires a lost append: the seeded value is reclaimed by
 // the caller beforehand, and the (sealed, drained) ring goes back to
 // the pool.
-func (q *Queue[T]) returnRing(r ringCtl[T]) {
+func (q *Queue[T]) returnRing(r ringcore.Ring[T]) {
 	r.Seal()
 	q.pool.put(r)
 }
@@ -568,16 +540,16 @@ func (q *Queue[T]) retire(n *node[T]) {
 // of a ring that can come back.
 type ringPool[T any] struct {
 	mu    sync.Mutex
-	rings []ringCtl[T] // LIFO: the most recently drained ring is the cache-warmest
+	rings []ringcore.Ring[T] // LIFO: the most recently drained ring is the cache-warmest
 	// inflight is a reference count per ring: dequeuers racing the
 	// same head CAS each take a mark, and only the last release drops
 	// the ring from the reachable set.
-	inflight map[ringCtl[T]]int
+	inflight map[ringcore.Ring[T]]int
 	max      int
 }
 
 // get removes a parked ring and marks it in flight.
-func (p *ringPool[T]) get() (ringCtl[T], bool) {
+func (p *ringPool[T]) get() (ringcore.Ring[T], bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.rings) == 0 {
@@ -592,7 +564,7 @@ func (p *ringPool[T]) get() (ringCtl[T], bool) {
 // put parks a sealed, drained, unreachable ring for reuse; when the
 // pool is full the ring is dropped for the GC. Either way the
 // caller's in-flight mark is released.
-func (p *ringPool[T]) put(r ringCtl[T]) {
+func (p *ringPool[T]) put(r ringcore.Ring[T]) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.unmarkInflightLocked(r)
@@ -601,26 +573,26 @@ func (p *ringPool[T]) put(r ringCtl[T]) {
 	}
 }
 
-func (p *ringPool[T]) markInflight(r ringCtl[T]) {
+func (p *ringPool[T]) markInflight(r ringcore.Ring[T]) {
 	p.mu.Lock()
 	p.markInflightLocked(r)
 	p.mu.Unlock()
 }
 
-func (p *ringPool[T]) markInflightLocked(r ringCtl[T]) {
+func (p *ringPool[T]) markInflightLocked(r ringcore.Ring[T]) {
 	if p.inflight == nil {
-		p.inflight = map[ringCtl[T]]int{}
+		p.inflight = map[ringcore.Ring[T]]int{}
 	}
 	p.inflight[r]++
 }
 
-func (p *ringPool[T]) unmarkInflight(r ringCtl[T]) {
+func (p *ringPool[T]) unmarkInflight(r ringcore.Ring[T]) {
 	p.mu.Lock()
 	p.unmarkInflightLocked(r)
 	p.mu.Unlock()
 }
 
-func (p *ringPool[T]) unmarkInflightLocked(r ringCtl[T]) {
+func (p *ringPool[T]) unmarkInflightLocked(r ringcore.Ring[T]) {
 	if n := p.inflight[r]; n > 1 {
 		p.inflight[r] = n - 1
 	} else {
@@ -646,42 +618,64 @@ func (q *Queue[T]) Pooled() int {
 	return len(q.pool.rings)
 }
 
-// --- ring adapters ---
+// Core exposes the unbounded queue through the ringcore.Core contract
+// so compositions consume it exactly like a bounded core: the sharded
+// queue's unbounded shards and the registry's generic adapter both go
+// through this. Cap reports 0 (no bound) and Footprint stays live.
+// The handles it acquires convert this package's invariant errors to
+// panics — the constructors rule them out, and a panic surfaces a
+// broken invariant loudly instead of reading as a full/empty queue
+// callers would spin on forever.
+func (q *Queue[T]) Core() ringcore.Core[T] { return ubCore[T]{q} }
 
-type scqCtl[T any] struct{ q *scq.Queue[T] }
+// ubCore adapts *Queue to ringcore.Core.
+type ubCore[T any] struct{ q *Queue[T] }
 
-func (c scqCtl[T]) Seal()             { c.q.Seal() }
-func (c scqCtl[T]) Reset()            { c.q.Reset() }
-func (c scqCtl[T]) Drained() bool     { return c.q.Drained() }
-func (c scqCtl[T]) Footprint() uint64 { return c.q.Footprint() }
-func (c scqCtl[T]) View() (ringView[T], error) {
-	return scqView[T]{c.q}, nil
-}
-
-type scqView[T any] struct{ q *scq.Queue[T] }
-
-func (v scqView[T]) EnqueueSealed(x T) bool        { return v.q.EnqueueSealed(x) }
-func (v scqView[T]) EnqueueSealedBatch(xs []T) int { return v.q.EnqueueSealedBatch(xs) }
-func (v scqView[T]) Dequeue() (T, bool)            { return v.q.Dequeue() }
-func (v scqView[T]) DequeueBatch(out []T) int      { return v.q.DequeueBatch(out) }
-
-type wcqCtl[T any] struct{ q *wcq.Queue[T] }
-
-func (c wcqCtl[T]) Seal()             { c.q.Seal() }
-func (c wcqCtl[T]) Reset()            { c.q.Reset() }
-func (c wcqCtl[T]) Drained() bool     { return c.q.Drained() }
-func (c wcqCtl[T]) Footprint() uint64 { return c.q.Footprint() }
-func (c wcqCtl[T]) View() (ringView[T], error) {
-	h, err := c.q.Register()
+func (c ubCore[T]) Acquire() (ringcore.Handle[T], error) {
+	h, err := c.q.Handle()
 	if err != nil {
 		return nil, err
 	}
-	return wcqView[T]{h}, nil
+	return ubHandle[T]{h}, nil
+}
+func (c ubCore[T]) Cap() uint64         { return 0 }
+func (c ubCore[T]) Footprint() uint64   { return c.q.Footprint() }
+func (c ubCore[T]) Kind() ringcore.Kind { return c.q.kind }
+
+// ubHandle adapts *Handle to ringcore.Handle: enqueues always succeed
+// (the queue grows), the sealed variants are plain enqueues (an
+// unbounded composite is never sealed), and invariant errors panic.
+type ubHandle[T any] struct{ h *Handle[T] }
+
+func (h ubHandle[T]) Enqueue(v T) bool {
+	if err := h.h.Enqueue(v); err != nil {
+		panic("unbounded: enqueue invariant broken: " + err.Error())
+	}
+	return true
 }
 
-type wcqView[T any] struct{ h *wcq.QueueHandle[T] }
+func (h ubHandle[T]) Dequeue() (T, bool) {
+	v, ok, err := h.h.Dequeue()
+	if err != nil {
+		panic("unbounded: dequeue invariant broken: " + err.Error())
+	}
+	return v, ok
+}
 
-func (v wcqView[T]) EnqueueSealed(x T) bool        { return v.h.EnqueueSealed(x) }
-func (v wcqView[T]) EnqueueSealedBatch(xs []T) int { return v.h.EnqueueSealedBatch(xs) }
-func (v wcqView[T]) Dequeue() (T, bool)            { return v.h.Dequeue() }
-func (v wcqView[T]) DequeueBatch(out []T) int      { return v.h.DequeueBatch(out) }
+func (h ubHandle[T]) EnqueueBatch(vs []T) int {
+	if err := h.h.EnqueueBatch(vs); err != nil {
+		panic("unbounded: batch enqueue invariant broken: " + err.Error())
+	}
+	return len(vs)
+}
+
+func (h ubHandle[T]) DequeueBatch(out []T) int {
+	n, err := h.h.DequeueBatch(out)
+	if err != nil {
+		panic("unbounded: batch dequeue invariant broken: " + err.Error())
+	}
+	return n
+}
+
+func (h ubHandle[T]) EnqueueSealed(v T) bool        { return h.Enqueue(v) }
+func (h ubHandle[T]) EnqueueSealedBatch(vs []T) int { return h.EnqueueBatch(vs) }

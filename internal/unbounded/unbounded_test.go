@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/atomicx"
+	"repro/internal/ringcore"
 )
 
 type maker func(t *testing.T, ringCap uint64) *Queue[uint64]
@@ -14,14 +14,14 @@ type maker func(t *testing.T, ringCap uint64) *Queue[uint64]
 func makers() map[string]maker {
 	return map[string]maker{
 		"LSCQ": func(t *testing.T, rc uint64) *Queue[uint64] {
-			q, err := NewLSCQ[uint64](rc, atomicx.NativeFAA)
+			q, err := New[uint64](ringcore.KindSCQ, rc, 0, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return q
 		},
 		"UWCQ": func(t *testing.T, rc uint64) *Queue[uint64] {
-			q, err := NewUWCQ[uint64](rc, 64, nil)
+			q, err := New[uint64](ringcore.KindWCQ, rc, 64, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -158,7 +158,7 @@ func TestUnboundedMPMC(t *testing.T) {
 }
 
 func TestUnboundedFootprintGrowsWhileBuffered(t *testing.T) {
-	q, err := NewLSCQ[uint64](8, atomicx.NativeFAA)
+	q, err := New[uint64](ringcore.KindSCQ, 8, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestUnboundedFootprintBoundedAfterDrain(t *testing.T) {
 func TestUnboundedPerProducerFIFOAcrossRings(t *testing.T) {
 	// One producer, one consumer, ring turnover in the middle: strict
 	// order must survive ring boundaries (and ring recycling).
-	q, err := NewUWCQ[uint64](4, 8, nil)
+	q, err := New[uint64](ringcore.KindWCQ, 4, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestUnboundedPerProducerFIFOAcrossRings(t *testing.T) {
 }
 
 func TestUWCQHandleCensus(t *testing.T) {
-	q, err := NewUWCQ[uint64](8, 2, nil)
+	q, err := New[uint64](ringcore.KindWCQ, 8, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,3 +314,41 @@ func TestUWCQHandleCensus(t *testing.T) {
 type errOrder struct{ got, want uint64 }
 
 func (e errOrder) Error() string { return "out of order" }
+
+func TestKindAccessorsAndCore(t *testing.T) {
+	q, err := New[uint64](ringcore.KindSCQ, 8, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind() != ringcore.KindSCQ {
+		t.Fatalf("Kind() = %v", q.Kind())
+	}
+	core := q.Core()
+	if core.Cap() != 0 || core.Kind() != ringcore.KindSCQ {
+		t.Fatalf("core: cap=%d kind=%v", core.Cap(), core.Kind())
+	}
+	h, err := core.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Through the Core adapter: never full, sealed ops are plain
+	// enqueues, batches always absorbed.
+	if !h.Enqueue(1) || !h.EnqueueSealed(2) {
+		t.Fatal("unbounded core reported full")
+	}
+	if n := h.EnqueueSealedBatch([]uint64{3, 4, 5}); n != 3 {
+		t.Fatalf("EnqueueSealedBatch = %d, want 3", n)
+	}
+	out := make([]uint64, 8)
+	if n := h.DequeueBatch(out); n != 5 {
+		t.Fatalf("DequeueBatch = %d, want 5", n)
+	}
+	for i, want := range []uint64{1, 2, 3, 4, 5} {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("phantom value after drain")
+	}
+}

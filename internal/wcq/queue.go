@@ -33,8 +33,15 @@ type QueueHandle[T any] struct {
 	idxBuf []uint64
 }
 
-// scratch returns the handle's index buffer, grown to hold n entries.
+// scratch returns the handle's index buffer, grown to hold n entries
+// but never past the ring capacity — at most Cap() indices can move
+// per call, so a batch far larger than the ring must not pin a
+// buffer sized to the batch (short counts are within the batch
+// contract; the caller resumes with the remainder).
 func (h *QueueHandle[T]) scratch(n int) []uint64 {
+	if c := int(h.q.Cap()); n > c {
+		n = c
+	}
 	if cap(h.idxBuf) < n {
 		h.idxBuf = make([]uint64, n)
 	}

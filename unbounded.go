@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ring"
+	"repro/internal/ringcore"
 	"repro/internal/unbounded"
 )
 
@@ -38,8 +39,20 @@ func (k RingKind) String() string {
 	return "?"
 }
 
-// WithRingKind selects the bounded ring NewUnbounded links together
-// (default RingWCQ). Other constructors ignore this option.
+// kind maps the public ring-kind constant to the shared ringcore
+// contract every internal composition consumes.
+func (k RingKind) kind() ringcore.Kind {
+	if k == RingSCQ {
+		return ringcore.KindSCQ
+	}
+	return ringcore.KindWCQ
+}
+
+// WithRingKind selects the ring core the linked-ring and sharded
+// constructors build from (default RingWCQ): NewUnbounded links rings
+// of this kind, and NewSharded builds its shards from it (bounded or,
+// with WithUnboundedShards, unbounded). Other constructors ignore
+// this option.
 func WithRingKind(k RingKind) Option {
 	return func(o *options) { o.ringKind = k }
 }
@@ -86,7 +99,7 @@ type UnboundedHandle[T any] struct {
 // rings carry a thread census; RingSCQ accepts any number of
 // handles). Configure with WithRingKind and WithRingCapacity.
 func NewUnbounded[T any](maxThreads int, opts ...Option) (*UnboundedQueue[T], error) {
-	wo, o := buildOpts(opts)
+	o := buildOpts(opts)
 	if maxThreads < 1 {
 		return nil, fmt.Errorf("wfqueue: maxThreads must be >= 1, got %d", maxThreads)
 	}
@@ -97,16 +110,10 @@ func NewUnbounded[T any](maxThreads int, opts ...Option) (*UnboundedQueue[T], er
 	if ringCap < 2 || !ring.IsPow2(ringCap) {
 		return nil, fmt.Errorf("wfqueue: ring capacity must be a power of two >= 2, got %d", ringCap)
 	}
-	var q *unbounded.Queue[T]
-	var err error
-	switch o.ringKind {
-	case RingWCQ:
-		q, err = unbounded.NewUWCQ[T](ringCap, maxThreads, wo)
-	case RingSCQ:
-		q, err = unbounded.NewLSCQ[T](ringCap, o.mode)
-	default:
+	if o.ringKind != RingWCQ && o.ringKind != RingSCQ {
 		return nil, fmt.Errorf("wfqueue: unknown ring kind %d", o.ringKind)
 	}
+	q, err := unbounded.New[T](o.ringKind.kind(), ringCap, maxThreads, o.core())
 	if err != nil {
 		return nil, err
 	}

@@ -27,10 +27,12 @@
 // envelope, no helping (lock-free progress only, no handle census).
 // NewRing / NewLockFreeRing expose the underlying index rings for
 // allocator-style use (DPDK/SPDK-like index pools, Figure 2 of the
-// paper). NewSharded composes several wCQ rings behind one interface
+// paper). NewSharded composes several ring cores behind one interface
 // — per-handle enqueue affinity, work-stealing dequeue and native
 // batch operations — for workloads that saturate a single ring's
-// head/tail word. NewUnbounded links bounded rings into a queue with
+// head/tail word; WithRingKind picks the core and WithUnboundedShards
+// swaps the bounded rings for unbounded linked-ring shards.
+// NewUnbounded links bounded rings into a queue with
 // no capacity limit (the paper's Appendix A): Enqueue never reports
 // full, memory grows and shrinks in ring-sized steps, and drained
 // rings are recycled through a bounded pool. NewChan layers blocking
@@ -44,6 +46,7 @@ import (
 	"fmt"
 
 	"repro/internal/atomicx"
+	"repro/internal/ringcore"
 	"repro/internal/scq"
 	"repro/internal/sharded"
 	"repro/internal/wcq"
@@ -53,14 +56,26 @@ import (
 type Option func(*options)
 
 type options struct {
-	mode        atomicx.Mode
-	enqPatience int
-	deqPatience int
-	helpDelay   int
-	shards      int
-	backend     Backend
-	ringKind    RingKind
-	ringCap     uint64
+	mode            atomicx.Mode
+	enqPatience     int
+	deqPatience     int
+	helpDelay       int
+	shards          int
+	backend         Backend
+	ringKind        RingKind
+	ringCap         uint64
+	unboundedShards bool
+}
+
+// core translates the accumulated options into the shared ring-core
+// tuning struct every composition consumes.
+func (o options) core() *ringcore.Options {
+	return &ringcore.Options{
+		Mode:        o.mode,
+		EnqPatience: o.enqPatience,
+		DeqPatience: o.deqPatience,
+		HelpDelay:   o.helpDelay,
+	}
 }
 
 // WithEmulatedFAA makes every fetch-and-add a CAS loop, modelling
@@ -91,6 +106,21 @@ func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
 }
 
+// WithUnboundedShards makes NewSharded compose n unbounded
+// linked-ring shards (0 = the default 4) instead of bounded rings:
+// each shard grows and shrinks independently (see NewUnbounded), so
+// there is no global capacity — the capacity argument becomes each
+// shard's ring size (a power of two >= 2, the growth granularity),
+// Cap() reports 0, Enqueue never reports full, and Footprint() is
+// live. Combine with WithRingKind to pick the shards' ring kind.
+// Other constructors ignore this option.
+func WithUnboundedShards(n int) Option {
+	return func(o *options) {
+		o.shards = n
+		o.unboundedShards = true
+	}
+}
+
 // validate enforces the documented constructor contract at the public
 // boundary, in this package's own vocabulary (the internal layers
 // carry their own checks, but callers of wfqueue should see wfqueue
@@ -105,18 +135,18 @@ func validate(capacity uint64, maxThreads int) error {
 	return nil
 }
 
-func buildOpts(opts []Option) (*wcq.Options, options) {
+func buildOpts(opts []Option) options {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return &wcq.Options{
-		Mode:        o.mode,
-		EnqPatience: o.enqPatience,
-		DeqPatience: o.deqPatience,
-		HelpDelay:   o.helpDelay,
-	}, o
+	return o
 }
+
+// wcq translates the accumulated options for the constructors that
+// talk to internal/wcq directly, through ringcore's single
+// Options-to-wcq mapping (so the two structs cannot drift).
+func (o options) wcq() *wcq.Options { return o.core().WCQ() }
 
 // Queue is a bounded wait-free MPMC FIFO of values of type T.
 type Queue[T any] struct {
@@ -137,8 +167,8 @@ func New[T any](capacity uint64, maxThreads int, opts ...Option) (*Queue[T], err
 	if err := validate(capacity, maxThreads); err != nil {
 		return nil, err
 	}
-	wo, _ := buildOpts(opts)
-	q, err := wcq.NewQueue[T](capacity, maxThreads, wo)
+	o := buildOpts(opts)
+	q, err := wcq.NewQueue[T](capacity, maxThreads, o.wcq())
 	if err != nil {
 		return nil, err
 	}
@@ -201,13 +231,13 @@ func NewRing(capacity uint64, maxThreads int, full bool, opts ...Option) (*Ring,
 	if err := validate(capacity, maxThreads); err != nil {
 		return nil, err
 	}
-	wo, _ := buildOpts(opts)
+	o := buildOpts(opts)
 	var r *wcq.Ring
 	var err error
 	if full {
-		r, err = wcq.NewFullRing(capacity, maxThreads, wo)
+		r, err = wcq.NewFullRing(capacity, maxThreads, o.wcq())
 	} else {
-		r, err = wcq.NewRing(capacity, maxThreads, wo)
+		r, err = wcq.NewRing(capacity, maxThreads, o.wcq())
 	}
 	if err != nil {
 		return nil, err
@@ -247,7 +277,7 @@ func NewLockFree[T any](capacity uint64, opts ...Option) (*LockFreeQueue[T], err
 	if err := validate(capacity, 1); err != nil {
 		return nil, err
 	}
-	_, o := buildOpts(opts)
+	o := buildOpts(opts)
 	q, err := scq.NewQueue[T](capacity, o.mode)
 	if err != nil {
 		return nil, err
@@ -261,15 +291,16 @@ func (q *LockFreeQueue[T]) Enqueue(v T) bool { return q.q.Enqueue(v) }
 // Dequeue removes the oldest value; ok is false when empty.
 func (q *LockFreeQueue[T]) Dequeue() (T, bool) { return q.q.Dequeue() }
 
-// EnqueueBatch appends a prefix of vs in order and returns its length
-// (a short count means the queue filled up mid-batch). Batches are
-// reserved with one fetch-and-add per ring per chunk instead of one
-// per element. Safe for any goroutine, like Enqueue.
-func (q *LockFreeQueue[T]) EnqueueBatch(vs []T) int { return q.q.EnqueueBatch(vs) }
-
-// DequeueBatch fills a prefix of out with the oldest values and
-// returns its length; 0 means the queue appeared empty.
-func (q *LockFreeQueue[T]) DequeueBatch(out []T) int { return q.q.DequeueBatch(out) }
+// Handle returns a per-goroutine view carrying the zero-allocation
+// batch scratch. SCQ has no thread census, so Handle never fails and
+// any number may be created; like every other handle in this package
+// it must not be shared between goroutines. Scalar operations work
+// both on the queue directly and on a handle — only the batch
+// operations need one (their scratch buffer is what makes them
+// allocation-free, and a shared buffer could not be).
+func (q *LockFreeQueue[T]) Handle() (*LockFreeHandle[T], error) {
+	return &LockFreeHandle[T]{h: q.q.Register()}, nil
+}
 
 // Cap returns the queue capacity.
 func (q *LockFreeQueue[T]) Cap() uint64 { return q.q.Cap() }
@@ -278,14 +309,39 @@ func (q *LockFreeQueue[T]) Cap() uint64 { return q.q.Cap() }
 // never allocates afterwards.
 func (q *LockFreeQueue[T]) Footprint() uint64 { return q.q.Footprint() }
 
-// ShardedQueue composes several independent wCQ rings into one queue
+// LockFreeHandle is a goroutine's capability to use a LockFreeQueue,
+// carrying the per-handle scratch the native batch reservation uses.
+// Not safe for concurrent use by multiple goroutines.
+type LockFreeHandle[T any] struct {
+	h *scq.QueueHandle[T]
+}
+
+// Enqueue appends v; false when full.
+func (h *LockFreeHandle[T]) Enqueue(v T) bool { return h.h.Enqueue(v) }
+
+// Dequeue removes the oldest value; ok is false when empty.
+func (h *LockFreeHandle[T]) Dequeue() (T, bool) { return h.h.Dequeue() }
+
+// EnqueueBatch appends a prefix of vs in order and returns its length
+// (a short count means the queue filled up mid-batch). The whole
+// batch is reserved with one fetch-and-add per ring instead of one
+// per element; the steady-state hot path allocates nothing.
+func (h *LockFreeHandle[T]) EnqueueBatch(vs []T) int { return h.h.EnqueueBatch(vs) }
+
+// DequeueBatch fills a prefix of out with the oldest values and
+// returns its length; 0 means the queue appeared empty.
+func (h *LockFreeHandle[T]) DequeueBatch(out []T) int { return h.h.DequeueBatch(out) }
+
+// ShardedQueue composes several independent ring cores into one queue
 // that spreads the single head/tail hot word across shards: each
 // handle enqueues to a fixed home shard (assigned round-robin at
 // Handle time) and dequeues round-robin with work stealing, so no
 // shard starves. Any one handle's values come back in strict FIFO
 // order; values from different handles may interleave in either
-// order. Enqueue reports full when the handle's home shard is full
-// (capacity is split evenly across shards).
+// order. With bounded shards (the default) Enqueue reports full when
+// the handle's home shard is full (capacity is split evenly across
+// shards); with WithUnboundedShards the shards grow instead and
+// Enqueue never reports full.
 type ShardedQueue[T any] struct {
 	q *sharded.Queue[T]
 }
@@ -301,17 +357,30 @@ type ShardedHandle[T any] struct {
 // capacity/n must itself be a power of two >= 2, so non-power-of-two
 // shard counts work as long as the per-shard quotient is (e.g.
 // capacity 12 over 3 shards of 4). Every handle registers with every
-// shard, so maxThreads bounds handles globally.
+// shard, so maxThreads bounds handles globally. WithRingKind selects
+// the shards' ring core (wait-free wCQ by default, lock-free SCQ);
+// WithUnboundedShards swaps the bounded rings for unbounded
+// linked-ring shards, reinterpreting capacity as each shard's ring
+// size (a power of two >= 2).
 func NewSharded[T any](capacity uint64, maxThreads int, opts ...Option) (*ShardedQueue[T], error) {
 	// The total capacity need not be a power of two — only the
 	// per-shard quotient must be, which sharded.New validates.
 	if maxThreads < 1 {
 		return nil, fmt.Errorf("wfqueue: maxThreads must be >= 1, got %d", maxThreads)
 	}
-	wo, o := buildOpts(opts)
+	o := buildOpts(opts)
+	if o.unboundedShards {
+		// capacity is each shard's ring size here; phrase the contract
+		// in this package's vocabulary instead of the internal layers'.
+		if err := validate(capacity, maxThreads); err != nil {
+			return nil, err
+		}
+	}
 	q, err := sharded.New[T](capacity, maxThreads, &sharded.Options{
-		Shards: o.shards,
-		WCQ:    wo,
+		Shards:    o.shards,
+		Kind:      o.ringKind.kind(),
+		Unbounded: o.unboundedShards,
+		Core:      o.core(),
 	})
 	if err != nil {
 		return nil, err
@@ -329,18 +398,24 @@ func (q *ShardedQueue[T]) Handle() (*ShardedHandle[T], error) {
 	return &ShardedHandle[T]{h: h}, nil
 }
 
-// Cap returns the total capacity (summed over shards).
+// Cap returns the total capacity (summed over shards), or 0 with
+// unbounded shards.
 func (q *ShardedQueue[T]) Cap() uint64 { return q.q.Cap() }
 
 // Shards returns the shard count.
 func (q *ShardedQueue[T]) Shards() int { return q.q.Shards() }
 
-// Footprint returns the bytes allocated at construction, summed over
-// shards; the queue never allocates afterwards.
+// Unbounded reports whether the shards are unbounded linked-ring
+// queues (WithUnboundedShards).
+func (q *ShardedQueue[T]) Unbounded() bool { return q.q.Unbounded() }
+
+// Footprint returns the bytes the shards retain, summed: a constant
+// for bounded shards, a live grow-and-shrink figure with
+// WithUnboundedShards.
 func (q *ShardedQueue[T]) Footprint() uint64 { return q.q.Footprint() }
 
 // Enqueue appends v to the handle's home shard; false means that
-// shard is full.
+// shard is full (never the case with unbounded shards).
 func (h *ShardedHandle[T]) Enqueue(v T) bool { return h.h.Enqueue(v) }
 
 // Dequeue removes the oldest value of some shard; ok is false only
