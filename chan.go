@@ -244,10 +244,14 @@ func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], 
 // wakeNotFull wakes parked senders after a slot frees up: one sender
 // on single-ring backends (any sender can use any slot), all of them
 // on the sharded backend (see shardedFull).
+//
+//wfq:noalloc
 func (c *Chan[T]) wakeNotFull() { c.wakeNotFullN(1) }
 
 // wakeNotFullN wakes parked senders after n slots freed up (a batch
 // receive), with the same sharded-backend broadcast rule.
+//
+//wfq:noalloc
 func (c *Chan[T]) wakeNotFullN(n int) {
 	if c.shardedFull {
 		c.notFull.WakeAll()
@@ -296,6 +300,8 @@ func (c *Chan[T]) Close() error {
 // receiver for a delivered value, every parked receiver once the Chan
 // is closed (each must re-evaluate the closed-and-drained condition
 // now that the in-flight count moved).
+//
+//wfq:noalloc
 func (c *Chan[T]) finishSend(delivered bool) {
 	if delivered {
 		c.finishSendN(1)
@@ -308,6 +314,8 @@ func (c *Chan[T]) finishSend(delivered bool) {
 // delivered n values in its final step and wakes receivers
 // accordingly. Values delivered by earlier steps of a batch send have
 // already been signalled by then (see SendManyCtx).
+//
+//wfq:noalloc
 func (c *Chan[T]) finishSendN(n int) {
 	c.sending.Add(-1)
 	if c.closed.Load() {
@@ -320,6 +328,8 @@ func (c *Chan[T]) finishSendN(n int) {
 // TrySend is the nonblocking send: ok reports whether v was buffered
 // (false with a nil error means the buffer is full), and err is
 // ErrClosed after Close.
+//
+//wfq:noalloc
 func (h *ChanHandle[T]) TrySend(v T) (ok bool, err error) {
 	c := h.c
 	c.sending.Add(1)
@@ -383,6 +393,8 @@ func (h *ChanHandle[T]) SendCtx(ctx context.Context, v T) error {
 // TryRecv is the nonblocking receive: ok reports whether a value was
 // taken (false with a nil error means the buffer is empty), and err
 // is ErrClosed once the Chan is closed and drained.
+//
+//wfq:noalloc
 func (h *ChanHandle[T]) TryRecv() (v T, ok bool, err error) {
 	c := h.c
 	if v, ok := h.h.Dequeue(); ok {
@@ -411,6 +423,8 @@ func (h *ChanHandle[T]) Recv() (T, error) { return h.RecvCtx(context.Background(
 // vs through the backend's native batch reservation and returns its
 // length (a short count means the buffer filled mid-batch), or
 // ErrClosed after Close (nothing is buffered then).
+//
+//wfq:noalloc
 func (h *ChanHandle[T]) TrySendMany(vs []T) (int, error) {
 	c := h.c
 	c.sending.Add(1)
@@ -499,6 +513,8 @@ func (h *ChanHandle[T]) SendManyCtx(ctx context.Context, vs []T) (int, error) {
 // out through the backend's native batch reservation and returns its
 // length (0 with a nil error means the buffer is empty), or ErrClosed
 // once the Chan is closed and drained.
+//
+//wfq:noalloc
 func (h *ChanHandle[T]) TryRecvMany(out []T) (int, error) {
 	c := h.c
 	if n := h.h.DequeueBatch(out); n > 0 {

@@ -1,0 +1,80 @@
+// Command wfqvet is the repository's static vet suite: one run checks
+// every concurrency invariant the compiler cannot see.
+//
+//	go run ./cmd/wfqvet ./...              # whole module
+//	go run ./cmd/wfqvet ./internal/wcq     # one subtree
+//	GOARCH=386 wfqvet ./...                # 32-bit layouts (CI cross-compile)
+//
+// The analyzers (see each package's doc for the full contract):
+//
+//	rawatomic   raw sync/atomic calls on plain words are forbidden
+//	            outside internal/atomicx
+//	falseshare  //wfq:padded sizes and //wfq:isolate hot-field spacing
+//	            hold under both amd64 and 386 layouts
+//	hotalloc    //wfq:noalloc functions contain no allocating construct
+//	            and call only vetted functions
+//	loopload    //wfq:stable fields are not re-read inside loops
+//	doccheck    exported identifiers carry doc comments
+//
+// Layout checks always evaluate both amd64 and 386 sizes; running the
+// whole suite under GOARCH=386 additionally type-checks the 32-bit
+// build configuration, which CI does in the cross-compile job.
+//
+// Exit status is 1 when any analyzer fires, 2 on a loading failure.
+// -list prints the analyzers and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/doccheck"
+	"repro/internal/analysis/falseshare"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/loopload"
+	"repro/internal/analysis/rawatomic"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	rawatomic.Analyzer,
+	falseshare.Analyzer,
+	hotalloc.Analyzer,
+	loopload.Analyzer,
+	doccheck.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wfqvet [-list] [package patterns]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfqvet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analyzers, analysis.DefaultArchSizes())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wfqvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoClean runs the full analyzer suite over the whole module
+// in-process: the repository must stay wfqvet-clean, so any invariant
+// regression fails `go test` as well as the CI lint job.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := analysis.Run(pkgs, analyzers, analysis.DefaultArchSizes())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,241 @@
+// Package analysistest runs an analyzer over small fixture packages
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/ — one directory per
+// fixture package. A line expecting a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment; several quoted regexps expect several diagnostics on the
+// line. Every diagnostic must be wanted and every want must fire, so a
+// fixture is simultaneously the positive case (the analyzer fires
+// where expected) and the negative case (it stays silent everywhere
+// else).
+//
+// Fixture packages are type-checked from source; their imports resolve
+// first to sibling fixture directories, then to the standard library
+// (also from source, so no compiled export data is needed).
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes the fixture packages named by pkgpaths (directories
+// under testdata/src) with a and reports any mismatch between the
+// diagnostics produced and the // want comments in the fixtures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	pkgs := loadFixtures(t, testdata, pkgpaths)
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{a}, analysis.DefaultArchSizes())
+	checkWants(t, pkgs, diags)
+}
+
+// loadFixtures parses and type-checks each fixture package.
+func loadFixtures(t *testing.T, testdata string, pkgpaths []string) []*analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		testdata: testdata,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*types.Package{},
+	}
+	var pkgs []*analysis.Package
+	for _, path := range pkgpaths {
+		files, info, tpkg := imp.check(t, path)
+		pkgs = append(pkgs, &analysis.Package{
+			PkgPath:   path,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     tpkg,
+			TypesInfo: info,
+			Sizes:     types.SizesFor("gc", "amd64"),
+		})
+	}
+	return pkgs
+}
+
+// fixtureImporter resolves fixture import paths from testdata/src and
+// everything else from the standard library.
+type fixtureImporter struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.testdata, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		files, err := parseDir(fi.fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: fi, Sizes: types.SizesFor("gc", "amd64")}
+		pkg, err := conf.Check(path, fi.fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		fi.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return fi.std.Import(path)
+}
+
+// check type-checks one fixture package, keeping syntax and type info.
+func (fi *fixtureImporter) check(t *testing.T, path string) ([]*ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	dir := filepath.Join(fi.testdata, "src", filepath.FromSlash(path))
+	files, err := parseDir(fi.fset, dir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", path, err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: fi, Sizes: types.SizesFor("gc", "amd64")}
+	tpkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", path, err)
+	}
+	fi.pkgs[path] = tpkg
+	return files, info, tpkg
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkWants matches produced diagnostics against // want comments.
+func checkWants(t *testing.T, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					sub := wantRe.FindStringSubmatch(c.Text)
+					if sub == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, lit := range splitQuoted(t, pos, sub[1]) {
+						re, err := regexp.Compile(lit)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: lit})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted string literals from the tail
+// of a want comment.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var lits []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: want comment must hold quoted regexps, got %q", pos.Filename, pos.Line, s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s:%d: unterminated want regexp in %q", pos.Filename, pos.Line, s)
+		}
+		lit, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want literal %q: %v", pos.Filename, pos.Line, s[:end+1], err)
+		}
+		lits = append(lits, lit)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return lits
+}

@@ -1,0 +1,90 @@
+// Package doccheck enforces the repository's godoc contract: every
+// exported top-level identifier (type, function, method, var, const)
+// in every non-test file must carry a doc comment. It is the analyzer
+// behind the ARCHITECTURE.md/godoc audit, absorbed into wfqvet from
+// the original standalone doccheck command so one invocation runs
+// every repo-specific check.
+//
+// A const or var group is satisfied by a doc comment on the group or
+// on the individual spec. Methods on unexported types are internal
+// plumbing and exempt.
+package doccheck
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags exported identifiers without doc comments.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccheck",
+	Doc:  "require a doc comment on every exported top-level identifier",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+					pass.Reportf(d.Pos(), "exported %s %s is missing a doc comment", kindOf(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							pass.Reportf(s.Pos(), "exported type %s is missing a doc comment", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						// A group comment covers all specs; otherwise each
+						// exported spec needs its own doc or line comment.
+						if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								pass.Reportf(n.Pos(), "exported %s is missing a doc comment", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// kindOf distinguishes methods from functions in the diagnostic.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// exportedRecv reports whether a method's receiver type is itself
+// exported (methods on unexported types are internal plumbing and
+// exempt). Plain functions always count.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

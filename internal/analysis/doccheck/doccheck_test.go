@@ -1,0 +1,12 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/doccheck"
+)
+
+func TestDocCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", doccheck.Analyzer, "doccheckfix")
+}

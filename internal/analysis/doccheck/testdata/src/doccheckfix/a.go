@@ -1,0 +1,33 @@
+// Package doccheckfix exercises the doccheck analyzer.
+package doccheckfix
+
+// Documented carries the doc comment the contract requires.
+type Documented struct{}
+
+type Bare struct { // want "exported type Bare is missing a doc comment"
+	f int
+}
+
+// Grouped constants are satisfied by the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const LoneConst = 3 // documented by this line comment
+
+var Naked = func() int { // want "exported Naked is missing a doc comment"
+	return 0
+}()
+
+// Method has a doc comment.
+func (Documented) Method() {}
+
+func (Documented) Undocumented() {} // want "exported method Undocumented is missing a doc comment"
+
+func Function() {} // want "exported function Function is missing a doc comment"
+
+// methods on unexported types are exempt plumbing.
+type plumbing struct{}
+
+func (plumbing) Exported() {}

@@ -1,0 +1,80 @@
+// Package falsesharefix exercises the falseshare analyzer's
+// //wfq:padded and //wfq:isolate checks, including layouts that only
+// break on one architecture.
+package falsesharefix
+
+import "sync/atomic"
+
+// line is correctly padded on both architectures.
+//
+//wfq:padded
+type line struct {
+	v atomic.Uint32
+	_ [60]byte
+}
+
+// overPadded is the PR 1 pad.Bool bug class: a pad sized as if the
+// payload were zero bytes.
+//
+//wfq:padded
+type overPadded struct { // want "overPadded is 68 bytes on 386" "overPadded is 68 bytes on amd64"
+	v atomic.Uint32
+	_ [64]byte
+}
+
+// pointerPadded is 64 bytes on amd64 but only 60 on 386, because the
+// pointer shrinks: exactly the divergence the dual-arch check exists
+// for.
+//
+//wfq:padded
+type pointerPadded struct { // want "pointerPadded is 60 bytes on 386"
+	p atomic.Pointer[int]
+	_ [56]byte
+}
+
+// shared places two hot counters on one cache line.
+//
+//wfq:isolate
+type shared struct { // want "tail \\(offset 0\\) and head \\(offset 8\\) are 8 bytes apart on 386" "are 8 bytes apart on amd64"
+	tail atomic.Uint64
+	head atomic.Uint64
+}
+
+// isolated separates its counters with a full line of padding.
+//
+//wfq:isolate
+type isolated struct {
+	tail atomic.Uint64
+	_    [64]byte
+	head atomic.Uint64
+	_    [64]byte
+}
+
+// coldStats shares a line between a hot counter and a diagnostics
+// counter that is explicitly out of the hot set.
+//
+//wfq:isolate
+type coldStats struct {
+	tail  atomic.Uint64
+	stats atomic.Uint64 //wfq:cold diagnostics only
+	_     [48]byte
+}
+
+// hotPlain marks a frequently-written plain field hot, so sharing a
+// line with the atomic fires.
+//
+//wfq:isolate
+type hotPlain struct { // want "tail \\(offset 0\\) and cursor \\(offset 8\\)" "are 8 bytes apart on amd64"
+	tail   atomic.Uint64
+	cursor uint64 //wfq:hot written every dequeue
+}
+
+// archShared keeps its counters a full line apart on amd64 but lets
+// them collide on 386, where the uintptr spacer halves.
+//
+//wfq:isolate
+type archShared struct { // want "are 40 bytes apart on 386"
+	tail atomic.Uint64
+	_    [7]uintptr
+	head atomic.Uint64
+}

@@ -1,0 +1,488 @@
+// Package hotalloc enforces the //wfq:noalloc contract: an annotated
+// function must contain no allocating construct, and may only call
+// functions that themselves uphold the contract.
+//
+// The runtime AllocsPerRun guards prove specific benchmark paths
+// allocation-free; hotalloc complements them with whole-path static
+// coverage — every annotated function is checked on every build, not
+// just the paths a test happens to drive.
+//
+// Flagged inside a //wfq:noalloc body:
+//
+//   - make, new, append, delete, and map writes
+//   - &CompositeLit, and slice/map composite literals (plain struct
+//     literals passed by value are fine — they stay on the stack)
+//   - function literals (closure captures) and go statements
+//   - string <-> []byte/[]rune conversions and non-constant string
+//     concatenation
+//   - interface boxing: passing, assigning, or returning a
+//     non-pointer-shaped concrete value where an interface is expected
+//   - calls to module-internal functions not annotated //wfq:noalloc
+//     or //wfq:allocok, calls to external packages outside the
+//     allocation-free whitelist (sync/atomic, math/bits, runtime), and
+//     calls through function values
+//
+// Deliberately allowed:
+//
+//   - interface method calls (dynamic dispatch itself does not
+//     allocate; the concrete implementations carry their own
+//     annotations — this is how the ringcore.Handle compositions stay
+//     checkable)
+//   - panic(...) subtrees (the panic path is cold by definition)
+//   - //wfq:allocok functions: their bodies are exempt and they are
+//     callable from noalloc paths — for audited amortized or startup
+//     allocation such as scratch-buffer growth
+//
+// An intentional exception on a single line takes a
+// //wfq:ignore hotalloc <reason> suppression.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer checks //wfq:noalloc functions for allocating constructs.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocating constructs and calls to unvetted functions inside //wfq:noalloc bodies",
+	Run:  run,
+}
+
+// whitelist is the set of external packages whose functions are known
+// allocation-free.
+var whitelist = map[string]bool{
+	"sync/atomic": true,
+	"math/bits":   true,
+	"runtime":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective("noalloc", fd.Doc) {
+				continue
+			}
+			w := &walker{pass: pass, decl: fd}
+			w.walkStmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// walker carries one function's check state.
+type walker struct {
+	pass *analysis.Pass
+	decl *ast.FuncDecl
+}
+
+func (w *walker) reportf(pos token.Pos, format string, args ...any) {
+	w.pass.Reportf(pos, "//wfq:noalloc %s: "+format, append([]any{w.decl.Name.Name}, args...)...)
+}
+
+func (w *walker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.walkExpr(s.X)
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if idx, ok := lhs.(*ast.IndexExpr); ok && w.isMap(idx.X) {
+				w.reportf(lhs.Pos(), "map write")
+			}
+			w.walkExpr(lhs)
+		}
+		for i, rhs := range s.Rhs {
+			w.walkExpr(rhs)
+			// x = v where x is interface-typed boxes v.
+			if len(s.Lhs) == len(s.Rhs) {
+				if dst, ok := w.pass.TypesInfo.Types[s.Lhs[i]]; ok {
+					w.checkBoxing(rhs, dst.Type)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		w.reportf(s.Pos(), "go statement allocates a goroutine")
+	case *ast.DeferStmt:
+		w.walkExpr(s.Call)
+	case *ast.ReturnStmt:
+		sig, _ := w.pass.TypesInfo.Defs[w.decl.Name].(*types.Func)
+		for i, r := range s.Results {
+			w.walkExpr(r)
+			if sig != nil {
+				res := sig.Signature().Results()
+				if len(s.Results) == res.Len() {
+					w.checkBoxing(r, res.At(i).Type())
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Cond)
+		w.walkStmt(s.Body)
+		w.walkStmt(s.Else)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init)
+		if s.Cond != nil {
+			w.walkExpr(s.Cond)
+		}
+		w.walkStmt(s.Post)
+		w.walkStmt(s.Body)
+	case *ast.RangeStmt:
+		w.walkExpr(s.X)
+		w.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init)
+		if s.Tag != nil {
+			w.walkExpr(s.Tag)
+		}
+		w.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkStmt(s.Assign)
+		w.walkStmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.walkExpr(e)
+		}
+		w.walkStmts(s.Body)
+	case *ast.SelectStmt:
+		w.walkStmt(s.Body)
+	case *ast.CommClause:
+		w.walkStmt(s.Comm)
+		w.walkStmts(s.Body)
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan)
+		w.walkExpr(s.Value)
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, v := range vs.Values {
+				w.walkExpr(v)
+				if i < len(vs.Names) {
+					if obj := w.pass.TypesInfo.Defs[vs.Names[i]]; obj != nil {
+						w.checkBoxing(v, obj.Type())
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *walker) walkExpr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.walkCall(e)
+	case *ast.FuncLit:
+		w.reportf(e.Pos(), "function literal (closure) allocates")
+	case *ast.CompositeLit:
+		w.checkCompositeLit(e)
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+			w.reportf(e.Pos(), "&composite literal escapes to the heap")
+			w.walkCompositeElts(cl)
+			return
+		}
+		w.walkExpr(e.X)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Y)
+		if e.Op == token.ADD {
+			if tv, ok := w.pass.TypesInfo.Types[e]; ok && tv.Value == nil && isString(tv.Type) {
+				w.reportf(e.Pos(), "non-constant string concatenation allocates")
+			}
+		}
+	case *ast.ParenExpr:
+		w.walkExpr(e.X)
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Index)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Low)
+		w.walkExpr(e.High)
+		w.walkExpr(e.Max)
+	case *ast.StarExpr:
+		w.walkExpr(e.X)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X)
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Value)
+	}
+}
+
+// walkCall dispatches one call expression: builtins, conversions,
+// static calls, interface dispatch, and dynamic calls.
+func (w *walker) walkCall(call *ast.CallExpr) {
+	// Conversions: T(x).
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		w.checkConversion(call, tv.Type)
+		for _, a := range call.Args {
+			w.walkExpr(a)
+		}
+		return
+	}
+
+	switch callee := w.callee(call).(type) {
+	case *types.Builtin:
+		switch callee.Name() {
+		case "panic":
+			return // cold path: skip the whole subtree
+		case "make":
+			w.reportf(call.Pos(), "make allocates")
+		case "new":
+			w.reportf(call.Pos(), "new allocates")
+		case "append":
+			w.reportf(call.Pos(), "append may grow its backing array")
+		case "delete":
+			w.reportf(call.Pos(), "map op")
+		}
+		for _, a := range call.Args {
+			w.walkExpr(a)
+		}
+		return
+	case *types.Func:
+		w.checkStaticCall(call, callee)
+	default:
+		// No static callee: a call through a function value.
+		if !w.isInterfaceDispatch(call) {
+			w.reportf(call.Pos(), "call through a function value cannot be vetted; name the function and annotate it")
+		}
+	}
+
+	w.walkExpr(call.Fun)
+	for _, a := range call.Args {
+		w.walkExpr(a)
+	}
+	w.checkArgBoxing(call)
+}
+
+// callee resolves the called object, if any.
+func (w *walker) callee(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return w.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return w.pass.TypesInfo.Uses[fun.Sel]
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return w.pass.TypesInfo.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return w.pass.TypesInfo.Uses[id]
+		}
+	}
+	return nil
+}
+
+// isInterfaceDispatch reports whether call is a method call through an
+// interface (or type-parameter) receiver.
+func (w *walker) isInterfaceDispatch(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if _, ok := recv.Underlying().(*types.Interface); ok {
+		return true
+	}
+	_, isTypeParam := recv.(*types.TypeParam)
+	return isTypeParam
+}
+
+// checkStaticCall enforces the call rule: interface dispatch is
+// allowed; module-internal callees must be //wfq:noalloc or
+// //wfq:allocok; external callees must be whitelisted.
+func (w *walker) checkStaticCall(call *ast.CallExpr, fn *types.Func) {
+	if w.isInterfaceDispatch(call) {
+		return // concrete implementations carry their own annotations
+	}
+	if fn.Pkg() == nil {
+		return // error.Error, unsafe builtins, etc.
+	}
+	path := fn.Pkg().Path()
+	if w.sameModule(path) {
+		if !w.pass.Index.Noalloc(fn) && !w.pass.Index.Allocok(fn) {
+			w.reportf(call.Pos(), "calls %s, which is not annotated //wfq:noalloc or //wfq:allocok", fn.FullName())
+		}
+		return
+	}
+	if !whitelist[path] {
+		w.reportf(call.Pos(), "calls %s; package %s is not on the allocation-free whitelist", fn.FullName(), path)
+	}
+}
+
+// sameModule reports whether path belongs to the module under
+// analysis, approximated by sharing the first import-path segment with
+// the current package (exact for this repository, whose module path is
+// the single segment "repro").
+func (w *walker) sameModule(path string) bool {
+	self := w.pass.Pkg.Path()
+	if i := strings.IndexByte(self, '/'); i >= 0 {
+		self = self[:i]
+	}
+	return path == self || strings.HasPrefix(path, self+"/")
+}
+
+// checkCompositeLit flags slice and map literals; plain struct (and
+// array) literals by value are stack-friendly and allowed.
+func (w *walker) checkCompositeLit(cl *ast.CompositeLit) {
+	if tv, ok := w.pass.TypesInfo.Types[cl]; ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			w.reportf(cl.Pos(), "slice literal allocates")
+		case *types.Map:
+			w.reportf(cl.Pos(), "map literal allocates")
+		}
+	}
+	w.walkCompositeElts(cl)
+}
+
+func (w *walker) walkCompositeElts(cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		w.walkExpr(elt)
+	}
+}
+
+// checkConversion flags the conversions that copy: string <-> []byte
+// and []rune, and conversions into interface types (boxing).
+func (w *walker) checkConversion(call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := w.pass.TypesInfo.Types[call.Args[0]].Type
+	if src == nil {
+		return
+	}
+	if isString(dst) && isByteOrRuneSlice(src) || isByteOrRuneSlice(dst) && isString(src) {
+		w.reportf(call.Pos(), "string conversion copies")
+		return
+	}
+	w.checkBoxing(call.Args[0], dst)
+}
+
+// checkArgBoxing flags arguments boxed into interface-typed
+// parameters.
+func (w *walker) checkArgBoxing(call *ast.CallExpr) {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == token.NoPos:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt != nil {
+			w.checkBoxing(arg, pt)
+		}
+	}
+}
+
+// checkBoxing reports e if assigning it to destination type dst boxes
+// a non-pointer-shaped concrete value into an interface.
+func (w *walker) checkBoxing(e ast.Expr, dst types.Type) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if src == types.Typ[types.UntypedNil] {
+		return
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return
+	}
+	if isPointerShaped(src) {
+		return
+	}
+	w.reportf(e.Pos(), "%s value boxed into %s allocates", src, dst)
+}
+
+// isMap reports whether e has map type.
+func (w *walker) isMap(e ast.Expr) bool {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports whether values of t are stored directly in
+// an interface word (no allocation on conversion).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+// Package hotallocfix exercises the hotalloc analyzer: every
+// allocating construct must fire inside a //wfq:noalloc body, and the
+// sanctioned patterns — struct literals by value, interface dispatch,
+// //wfq:allocok helpers, panic subtrees, scratch-buffer reuse — must
+// stay silent.
+package hotallocfix
+
+import "sync/atomic"
+
+type entry struct {
+	cycle uint64
+	index uint64
+}
+
+type ring struct {
+	word    atomic.Uint64
+	scratch []uint64
+	stats   map[string]int
+	sink    any
+}
+
+// pack is a leaf helper on the hot path.
+//
+//wfq:noalloc
+func pack(e entry) uint64 { return e.cycle<<32 | e.index }
+
+// grow is the audited amortized-allocation helper: callable from
+// noalloc paths, body exempt.
+//
+//wfq:allocok scratch grows to ring capacity once, then is reused
+func (r *ring) grow(n int) []uint64 {
+	if cap(r.scratch) < n {
+		r.scratch = make([]uint64, n)
+	}
+	return r.scratch[:n]
+}
+
+// unvetted carries no annotation, so noalloc callers must not call it.
+func unvetted() {}
+
+// allocates exercises every flagged construct.
+//
+//wfq:noalloc
+func (r *ring) allocates(s string, xs []uint64) uint64 {
+	buf := make([]uint64, 8) // want "make allocates"
+	p := new(entry)          // want "new allocates"
+	xs = append(xs, 1)       // want "append may grow its backing array"
+	e := &entry{cycle: 1}    // want "&composite literal escapes"
+	sl := []uint64{1, 2}     // want "slice literal allocates"
+	m := map[string]int{}    // want "map literal allocates"
+	m["k"] = 1               // want "map write"
+	delete(m, "k")           // want "map op"
+	f := func() {}           // want "function literal \\(closure\\) allocates"
+	go f()                   // want "go statement allocates a goroutine"
+	b := []byte(s)           // want "string conversion copies"
+	s2 := s + "!"            // want "non-constant string concatenation allocates"
+	r.sink = entry{}         // want "boxed into"
+	unvetted()               // want "calls hotallocfix.unvetted, which is not annotated"
+	_ = buf
+	_ = p
+	_ = e
+	_ = sl
+	_ = b
+	_ = s2
+	return pack(entry{cycle: 1, index: uint64(len(xs))})
+}
+
+// fast is the shape of a real fast path: typed atomics, value struct
+// literals, annotated helpers, scratch reuse, and a cold panic guard.
+//
+//wfq:noalloc
+func (r *ring) fast(n int) uint64 {
+	if n < 0 {
+		panic("hotallocfix: negative batch of " + itoa(n)) // cold: subtree exempt
+	}
+	buf := r.grow(n)
+	var acc uint64
+	for i := range buf {
+		buf[i] = pack(entry{cycle: uint64(i)})
+		acc += r.word.Load()
+	}
+	return acc
+}
+
+// itoa is deliberately unannotated: it is only reachable from the
+// panic subtree above, which is exempt.
+func itoa(n int) string { return string(rune('0' + n%10)) }
+
+// consumer dispatches through an interface, which is allowed: the
+// concrete implementations carry their own annotations.
+type consumer interface {
+	Consume(v uint64) bool
+}
+
+//wfq:noalloc
+func drain(c consumer, vs []uint64) int {
+	kept := 0
+	for _, v := range vs {
+		if c.Consume(v) {
+			kept++
+		}
+	}
+	return kept
+}
+
+// external calls must stay inside the whitelist.
+//
+//wfq:noalloc
+func whitelisted(p *atomic.Uint64) uint64 {
+	return p.Add(1)
+}
+
+// suppressed shows the escape hatch for an audited one-off.
+//
+//wfq:noalloc
+func suppressed() *entry {
+	return &entry{} //wfq:ignore hotalloc constructed once at registration
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Index is the cross-package annotation table. Analyzers that follow
+// calls across package boundaries (hotalloc's "a //wfq:noalloc
+// function may only call noalloc/allocok functions" rule) need to see
+// annotations on functions defined in OTHER packages — including
+// module packages that the current run loads only as compiled export
+// data, which carries no comments. The index is therefore built
+// syntactically, from parsed source alone, and keyed by strings of the
+// form "<pkgpath>:<Recv>.<name>" ("<pkgpath>:.<name>" for plain
+// functions); the lookup side derives the same key from a *types.Func,
+// so source-checked and export-data views of one function agree.
+type Index struct {
+	// noalloc holds keys of functions annotated //wfq:noalloc.
+	noalloc map[string]bool
+	// allocok holds keys of functions annotated //wfq:allocok.
+	allocok map[string]bool
+	// stable holds "<pkgpath>:<Type>.<field>" keys for struct fields
+	// annotated //wfq:stable (never written after construction).
+	stable map[string]bool
+}
+
+// BuildIndex scans every loaded package's declarations — including
+// syntax-only packages loaded just for their annotations — for //wfq:
+// directives that other packages' passes must see.
+func BuildIndex(pkgs []*Package) *Index {
+	idx := &Index{
+		noalloc: map[string]bool{},
+		allocok: map[string]bool{},
+		stable:  map[string]bool{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Doc == nil {
+						continue
+					}
+					key := funcKey(pkg.PkgPath, recvTypeName(d), d.Name.Name)
+					if HasDirective("noalloc", d.Doc) {
+						idx.noalloc[key] = true
+					}
+					if HasDirective("allocok", d.Doc) {
+						idx.allocok[key] = true
+					}
+				case *ast.GenDecl:
+					idx.indexStableFields(pkg.PkgPath, d)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// recvTypeName extracts the receiver's base type name ("" for plain
+// functions), stripping pointers and type parameters.
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// indexStableFields records //wfq:stable fields of every struct type
+// declared in d.
+func (idx *Index) indexStableFields(pkgPath string, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if !HasDirective("stable", field.Doc, field.Comment) {
+				continue
+			}
+			for _, name := range field.Names {
+				idx.stable[fieldKey(pkgPath, ts.Name.Name, name.Name)] = true
+			}
+		}
+	}
+}
+
+func funcKey(pkgPath, recvName, funcName string) string {
+	return pkgPath + ":" + recvName + "." + funcName
+}
+
+func fieldKey(pkgPath, typeName, fieldName string) string {
+	return pkgPath + ":" + typeName + "." + fieldName
+}
+
+// keyOf derives the index key for a resolved function object.
+func keyOf(fn *types.Func) string {
+	fn = fn.Origin()
+	recvName := ""
+	if recv := fn.Signature().Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recvName = named.Origin().Obj().Name()
+		}
+	}
+	return funcKey(fn.Pkg().Path(), recvName, fn.Name())
+}
+
+// Noalloc reports whether fn is annotated //wfq:noalloc.
+func (idx *Index) Noalloc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && idx.noalloc[keyOf(fn)]
+}
+
+// Allocok reports whether fn is annotated //wfq:allocok.
+func (idx *Index) Allocok(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && idx.allocok[keyOf(fn)]
+}
+
+// Stable reports whether the named field of the named struct type is
+// annotated //wfq:stable. named must be the (possibly instantiated)
+// defined type owning the field.
+func (idx *Index) Stable(named *types.Named, fieldName string) bool {
+	if named == nil {
+		return false
+	}
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return idx.stable[fieldKey(obj.Pkg().Path(), obj.Name(), fieldName)]
+}

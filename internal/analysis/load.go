@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	ForTest    string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+	Match      []string
+}
+
+// Load enumerates the packages matching patterns with the go tool,
+// parses the matched (non-dependency) packages from source, and
+// type-checks them against their dependencies' compiled export data —
+// the same substrate go/packages provides, built on `go list -export`
+// so it works without network access or external modules.
+//
+// The target GOARCH is whatever the `go` subprocess resolves (so
+// running wfqvet with GOARCH=386 in the environment analyzes the
+// 32-bit build, as the CI cross-compile job does).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	goarch, err := goEnv(dir, "GOARCH")
+	if err != nil {
+		return nil, err
+	}
+	sizes := types.SizesFor("gc", goarch)
+	if sizes == nil {
+		return nil, fmt.Errorf("analysis: unknown GOARCH %q", goarch)
+	}
+
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list failed: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets, annotOnly []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo (unsupported)", p.ImportPath)
+		}
+		// Targets are the pattern matches themselves. Non-standard
+		// dependencies outside the pattern (module packages pulled in via
+		// -deps) are parsed syntax-only so their //wfq: annotations reach
+		// the cross-package index: export data carries no comments.
+		if p.DepOnly {
+			annotOnly = append(annotOnly, &p)
+		} else {
+			targets = append(targets, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, p := range targets {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    sizes,
+		}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   p.ImportPath,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     tpkg,
+			TypesInfo: info,
+			Sizes:     sizes,
+		})
+	}
+	for _, p := range annotOnly {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			files = append(files, f)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: p.ImportPath,
+			Fset:    fset,
+			Syntax:  files,
+		})
+	}
+	return pkgs, nil
+}
+
+// newInfo allocates a types.Info with every map analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// goEnv reads one `go env` variable.
+func goEnv(dir, name string) (string, error) {
+	cmd := exec.Command("go", "env", name)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysis: go env %s: %v", name, err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

@@ -1,0 +1,138 @@
+// Package loopload flags reads of //wfq:stable struct fields inside
+// loops: the field never changes after construction, so reading it —
+// a plain load, or an atomic .Load() on a set-once word — on every
+// attempt re-fetches a loop invariant that belongs in a local.
+//
+// This is the class PR 4 eliminated by hand when it hoisted the
+// patience loads out of the wCQ attempt loops (one field load per
+// operation instead of one per attempt); loopload makes the hoisting
+// discipline permanent. Head/Tail/Threshold loads are untouched: those
+// fields genuinely change and are not //wfq:stable.
+//
+// A read is flagged when it sits in a for-loop condition, post
+// statement, or body (a range expression is evaluated once and stays
+// exempt). Writes are not flagged — //wfq:stable asserts they only
+// happen during construction, which runs before any loop that
+// matters.
+package loopload
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags in-loop reads of //wfq:stable fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "loopload",
+	Doc:  "flag loop-invariant reads of //wfq:stable fields inside loops; hoist them to locals",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// span is a half-open position interval.
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.pos <= p && p < s.end }
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Collect the "hot zones": regions re-executed on every loop
+	// iteration.
+	var zones []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				zones = append(zones, span{n.Cond.Pos(), n.Cond.End()})
+			}
+			if n.Post != nil {
+				zones = append(zones, span{n.Post.Pos(), n.Post.End()})
+			}
+			zones = append(zones, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			zones = append(zones, span{n.Body.Pos(), n.Body.End()})
+		}
+		return true
+	})
+	if len(zones) == 0 {
+		return
+	}
+
+	// Collect write targets so `q.field = v` / `q.field++` selectors are
+	// not treated as reads.
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					writes[sel] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+		return true
+	})
+
+	inZone := func(p token.Pos) bool {
+		for _, z := range zones {
+			if z.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || writes[sel] || !inZone(sel.Pos()) {
+			return true
+		}
+		named, fieldName, ok := stableField(pass, sel)
+		if !ok {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "read of //wfq:stable field %s.%s inside a loop; hoist it to a local before the loop",
+			named.Origin().Obj().Name(), fieldName)
+		return true
+	})
+}
+
+// stableField resolves sel to a //wfq:stable field selection and
+// returns the owning named struct type and field name.
+func stableField(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.Named, string, bool) {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, "", false
+	}
+	field := selection.Obj()
+	if !pass.Index.Stable(named, field.Name()) {
+		return nil, "", false
+	}
+	return named, field.Name(), true
+}

@@ -1,0 +1,12 @@
+package loopload_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/loopload"
+)
+
+func TestLoopLoad(t *testing.T) {
+	analysistest.Run(t, "testdata", loopload.Analyzer, "looploadfix")
+}

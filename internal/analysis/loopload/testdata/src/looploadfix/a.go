@@ -1,0 +1,63 @@
+// Package looploadfix exercises the loopload analyzer: in-loop reads
+// of //wfq:stable fields fire, hoisted reads and genuinely mutable
+// fields stay silent.
+package looploadfix
+
+import "sync/atomic"
+
+type options struct {
+	patience int
+}
+
+type ring struct {
+	mask uint64 //wfq:stable
+	opts options //wfq:stable
+	mode atomic.Uint64 //wfq:stable set once at construction
+	head atomic.Uint64
+	seen uint64
+}
+
+func bad(r *ring, vs []uint64) uint64 {
+	var acc uint64
+	for i := 0; i < len(vs); i++ {
+		acc += vs[i] & r.mask // want "read of //wfq:stable field ring.mask inside a loop"
+		for j := 0; j < r.opts.patience; j++ { // want "read of //wfq:stable field ring.opts inside a loop"
+			if r.mode.Load() != 0 { // want "read of //wfq:stable field ring.mode inside a loop"
+				break
+			}
+		}
+	}
+	return acc
+}
+
+func good(r *ring, vs []uint64) uint64 {
+	mask := r.mask // hoisted: one load per call
+	patience := r.opts.patience
+	mode := r.mode.Load()
+	var acc uint64
+	for i := 0; i < len(vs); i++ {
+		acc += vs[i] & mask
+		for j := 0; j < patience; j++ {
+			if mode != 0 {
+				break
+			}
+		}
+		acc += r.head.Load() // head genuinely changes: not stable, silent
+		r.seen++             // plain mutable field: silent
+	}
+	return acc
+}
+
+func rangeExpr(r *ring) int {
+	n := 0
+	for range make([]byte, r.mask) { // range expression evaluates once: silent
+		n++
+	}
+	return n
+}
+
+func write(r *ring) {
+	for i := 0; i < 3; i++ {
+		r.seen = uint64(i)
+	}
+}

@@ -1,0 +1,73 @@
+// Package rawatomic forbids raw sync/atomic function calls —
+// atomic.LoadUint64(&x), atomic.CompareAndSwapUint64(&x, ...) and
+// friends — on plain words anywhere outside internal/atomicx.
+//
+// The repository's contract is typed atomics only: atomic.Uint64 and
+// siblings, pad.* padded wrappers, and atomicx.Counter. Typed atomics
+// make 32-bit alignment a property of the type system instead of a
+// field-ordering convention (a plain uint64 touched with
+// atomic.LoadUint64 faults on 386 unless it happens to be 8-aligned),
+// and routing every F&A through atomicx.Counter is what lets the
+// emulated-F&A mode (CAS loops, for the paper's CAS-only table rows)
+// and the counting mode switch implementations without touching call
+// sites. internal/atomicx itself is exempt: it is the one place the
+// raw functions are allowed to live.
+package rawatomic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags raw sync/atomic function calls outside
+// internal/atomicx.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawatomic",
+	Doc:  "forbid raw sync/atomic function calls on plain words; use typed atomics, pad.*, or atomicx.Counter",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/atomicx") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Methods on atomic.Uint64 etc. are the typed API; only the
+			// package-level functions take raw words.
+			if fn.Signature().Recv() != nil {
+				return true
+			}
+			pass.Reportf(call.Pos(), "raw atomic.%s call on a plain word; use a typed atomic (atomic.%s, pad.*, or atomicx.Counter)",
+				fn.Name(), typedSuggestion(fn.Name()))
+			return true
+		})
+	}
+	return nil
+}
+
+// typedSuggestion maps a raw function name to the typed atomic that
+// replaces it, for the diagnostic text.
+func typedSuggestion(raw string) string {
+	for _, t := range []string{"Uintptr", "Uint32", "Uint64", "Int32", "Int64", "Pointer"} {
+		if strings.HasSuffix(raw, t) {
+			return t
+		}
+	}
+	return "Uint64"
+}

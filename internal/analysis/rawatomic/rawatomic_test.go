@@ -1,0 +1,12 @@
+package rawatomic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rawatomic"
+)
+
+func TestRawAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata", rawatomic.Analyzer, "rawatomicfix", "internal/atomicx")
+}

@@ -1,0 +1,33 @@
+// Package rawatomicfix exercises the rawatomic analyzer: raw
+// sync/atomic function calls must fire, the typed API must not.
+package rawatomicfix
+
+import "sync/atomic"
+
+type plain struct {
+	val  uint64
+	next uint32
+}
+
+type typed struct {
+	val  atomic.Uint64
+	flag atomic.Bool
+}
+
+func bad(p *plain) uint64 {
+	atomic.StoreUint64(&p.val, 1)                  // want "raw atomic.StoreUint64 call"
+	atomic.AddUint32(&p.next, 1)                   // want "raw atomic.AddUint32 call"
+	if atomic.CompareAndSwapUint64(&p.val, 1, 2) { // want "raw atomic.CompareAndSwapUint64 call"
+		return 2
+	}
+	return atomic.LoadUint64(&p.val) // want "raw atomic.LoadUint64 call"
+}
+
+func good(t *typed) uint64 {
+	t.val.Store(1)
+	t.flag.Store(true)
+	if t.val.CompareAndSwap(1, 2) {
+		return 2
+	}
+	return t.val.Load()
+}

@@ -72,14 +72,20 @@ func (c *Counter) Init(mode Mode, v uint64) {
 }
 
 // Load returns the current value.
+//
+//wfq:noalloc
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
 // Store unconditionally writes v.
+//
+//wfq:noalloc
 func (c *Counter) Store(v uint64) { c.v.Store(v) }
 
 // Add atomically adds delta and returns the PREVIOUS value (the
 // algorithms in the paper are written against F&A, which returns the
 // old value, unlike atomic.Uint64.Add).
+//
+//wfq:noalloc
 func (c *Counter) Add(delta uint64) uint64 {
 	if !c.emulate {
 		return c.v.Add(delta) - delta
@@ -98,15 +104,21 @@ func (c *Counter) Add(delta uint64) uint64 {
 // Adds returns how many fetch-and-add operations this counter has
 // executed. Only CountingFAA counters tally; in every other mode Adds
 // reports 0.
+//
+//wfq:noalloc
 func (c *Counter) Adds() int64 { return c.adds.Load() }
 
 // CompareAndSwap is a plain CAS on the counter word.
+//
+//wfq:noalloc
 func (c *Counter) CompareAndSwap(old, new uint64) bool {
 	return c.v.CompareAndSwap(old, new)
 }
 
 // Or atomically ORs bits into the counter word and returns the old
 // value. Used by consume() (⊥c marking) and queue finalization.
+//
+//wfq:noalloc
 func (c *Counter) Or(bits uint64) uint64 {
 	if !c.emulate {
 		return c.v.Or(bits)

@@ -15,16 +15,22 @@ import "sync/atomic"
 const CacheLineSize = 64
 
 // Line is an opaque pad occupying exactly one cache line.
+//
+//wfq:padded
 type Line [CacheLineSize]byte
 
 // Uint64 is an atomic uint64 padded to occupy a full cache line, so that
 // two adjacent Uint64s never exhibit false sharing.
+//
+//wfq:padded
 type Uint64 struct {
 	V atomic.Uint64
 	_ [CacheLineSize - 8]byte
 }
 
 // Int64 is an atomic int64 padded to a full cache line.
+//
+//wfq:padded
 type Int64 struct {
 	V atomic.Int64
 	_ [CacheLineSize - 8]byte
@@ -32,6 +38,8 @@ type Int64 struct {
 
 // Bool is an atomic bool padded to a full cache line. atomic.Bool
 // wraps a uint32, so the pad is CacheLineSize-4, not CacheLineSize-1.
+//
+//wfq:padded
 type Bool struct {
 	V atomic.Bool
 	_ [CacheLineSize - 4]byte

@@ -421,8 +421,8 @@ func (w *chanQueue) Footprint() uint64 { return w.c.Footprint() }
 func (w *chanQueue) Name() string      { return w.name }
 func (w *chanQueue) Close() error      { return w.c.Close() }
 
-// Enqueue/Dequeue keep the nonblocking contract (a closed Chan reads
-// as full and, once drained, empty).
+// Enqueue and Dequeue keep the nonblocking contract (a closed Chan
+// reads as full and, once drained, empty).
 func (h *chanHandle) Enqueue(v uint64) bool {
 	ok, _ := h.h.TrySend(v)
 	return ok
@@ -432,7 +432,7 @@ func (h *chanHandle) Dequeue() (uint64, bool) {
 	return v, ok
 }
 
-// EnqueueBatch/DequeueBatch keep the nonblocking queueapi.Batcher
+// EnqueueBatch and DequeueBatch keep the nonblocking queueapi.Batcher
 // contract over the native batch reservation (TrySendMany/TryRecvMany).
 func (h *chanHandle) EnqueueBatch(vs []uint64) int {
 	n, _ := h.h.TrySendMany(vs)

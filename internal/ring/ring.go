@@ -15,6 +15,8 @@ import "math/bits"
 const EntriesPerLineShift = 3
 
 // Order returns the smallest o such that 1<<o >= v. Order(0) == 0.
+//
+//wfq:noalloc
 func Order(v uint64) uint {
 	if v <= 1 {
 		return 0
@@ -33,6 +35,8 @@ func Order(v uint64) uint {
 //
 // For tiny rings (order <= 3, i.e. at most one cache line) it is the
 // identity. Remap is a bijection on [0, 2^order); see TestRemapBijection.
+//
+//wfq:noalloc
 func Remap(i uint64, order uint) uint64 {
 	if order <= EntriesPerLineShift {
 		return i
@@ -43,6 +47,8 @@ func Remap(i uint64, order uint) uint64 {
 }
 
 // IsPow2 reports whether v is a power of two (v > 0).
+//
+//wfq:noalloc
 func IsPow2(v uint64) bool {
 	return v != 0 && v&(v-1) == 0
 }

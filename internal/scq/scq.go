@@ -35,16 +35,18 @@ import (
 const MaxCatchup = 64
 
 // Ring is a bounded lock-free MPMC queue of indices in [0, Cap()).
+//
+//wfq:isolate
 type Ring struct {
-	order   uint   // log2(nSlots)
-	nSlots  uint64 // 2n
-	n       uint64 // usable capacity
-	posMask uint64 // nSlots-1
-	idxMask uint64 // nSlots-1 (index field width == position width)
-	bottom  uint64 // ⊥  = 2n-2: slot empty, never consumed this cycle
-	bottomC uint64 // ⊥c = 2n-1: slot consumed
-	thresh3 int64  // 3n-1
-	emulate bool   // emulated-F&A modes (PowerPC-style CAS loops)
+	order   uint   //wfq:stable log2(nSlots)
+	nSlots  uint64 //wfq:stable 2n
+	n       uint64 //wfq:stable usable capacity
+	posMask uint64 //wfq:stable nSlots-1
+	idxMask uint64 //wfq:stable nSlots-1 (index field width == position width)
+	bottom  uint64 //wfq:stable ⊥  = 2n-2: slot empty, never consumed this cycle
+	bottomC uint64 //wfq:stable ⊥c = 2n-1: slot consumed
+	thresh3 int64  //wfq:stable 3n-1
+	emulate bool   //wfq:stable emulated-F&A modes (PowerPC-style CAS loops)
 
 	_         pad.Line
 	tail      atomicx.Counter
@@ -103,28 +105,39 @@ func NewFullRing(capacity uint64, mode atomicx.Mode) (*Ring, error) {
 }
 
 // Cap returns the usable capacity n.
+//
+//wfq:noalloc
 func (q *Ring) Cap() uint64 { return q.n }
 
 // Footprint returns the statically allocated size of the ring in bytes
 // (used by the Figure 10a memory-usage reproduction).
+//
+//wfq:noalloc
 func (q *Ring) Footprint() uint64 {
 	return uint64(len(q.entries))*8 + 4*pad.CacheLineSize
 }
 
 // pack assembles an entry word from cycle, safe bit and index.
+//
+//wfq:noalloc
 func (q *Ring) pack(cycle, safe, index uint64) uint64 {
 	return cycle<<(q.order+1) | safe<<q.order | index
 }
 
+//wfq:noalloc
 func (q *Ring) unpack(w uint64) (cycle, safe, index uint64) {
 	return w >> (q.order + 1), w >> q.order & 1, w & q.idxMask
 }
 
 // cycleOf maps a Head/Tail counter value to its ring cycle.
+//
+//wfq:noalloc
 func (q *Ring) cycleOf(c uint64) uint64 { return c >> q.order }
 
 // thresholdFAA atomically adds d to Threshold and returns the PREVIOUS
 // value, honoring the emulated-F&A mode.
+//
+//wfq:noalloc
 func (q *Ring) thresholdFAA(d int64) int64 {
 	if !q.emulate {
 		return q.threshold.Add(d) - d
@@ -140,6 +153,8 @@ func (q *Ring) thresholdFAA(d int64) int64 {
 // entryOr ORs bits into an entry word, honoring the emulated mode the
 // same way consume() does in the paper (§3.3: OR may be emulated with
 // CAS on architectures that lack it).
+//
+//wfq:noalloc
 func (q *Ring) entryOr(e *atomic.Uint64, bits uint64) {
 	if !q.emulate {
 		e.Or(bits)
@@ -159,20 +174,25 @@ func (q *Ring) entryOr(e *atomic.Uint64, bits uint64) {
 // Drained reports whether the head counter has caught the tail
 // counter, i.e. every issued enqueue ticket has been examined by a
 // dequeuer.
+//
+//wfq:noalloc
 func (q *Ring) Drained() bool { return q.head.Load() >= q.tail.Load() }
 
 // enqueueAt runs the per-slot half of try_enq for an already-reserved
 // Tail ticket t: the slot examination and the entry CAS, without the
 // F&A and without the threshold reset (the callers own both, so the
 // batch path can amortize them across a whole reservation).
+//
+//wfq:noalloc
 func (q *Ring) enqueueAt(t, index uint64) bool {
 	tCycle := q.cycleOf(t)
+	bottom, bottomC := q.bottom, q.bottomC // hoisted: loop-invariant (//wfq:stable)
 	e := &q.entries[ring.Remap(t&q.posMask, q.order)]
 	for {
 		w := e.Load()
 		eCycle, safe, idx := q.unpack(w)
 		if eCycle < tCycle &&
-			(idx == q.bottom || idx == q.bottomC) &&
+			(idx == bottom || idx == bottomC) &&
 			(safe == 1 || q.head.Load() <= t) {
 			if !e.CompareAndSwap(w, q.pack(tCycle, 1, index)) {
 				continue // the entry changed; re-examine it
@@ -185,6 +205,8 @@ func (q *Ring) enqueueAt(t, index uint64) bool {
 
 // resetThreshold performs the post-enqueue threshold reset (the load
 // avoids a shared write when the threshold is already pegged).
+//
+//wfq:noalloc
 func (q *Ring) resetThreshold() {
 	if q.threshold.Load() != q.thresh3 {
 		q.threshold.Store(q.thresh3)
@@ -194,6 +216,8 @@ func (q *Ring) resetThreshold() {
 // TryEnqueue performs one fast-path enqueue attempt (try_enq in
 // Fig. 3). On failure it returns the Tail ticket it consumed, which the
 // wait-free layer uses to seed its slow path; SCQ itself just retries.
+//
+//wfq:noalloc
 func (q *Ring) TryEnqueue(index uint64) (ticket uint64, ok bool) {
 	t := q.tail.Add(1)
 	if q.enqueueAt(t, index) {
@@ -206,6 +230,8 @@ func (q *Ring) TryEnqueue(index uint64) (ticket uint64, ok bool) {
 // Enqueue inserts index, retrying the fast path until it succeeds.
 // Like the paper's Enqueue_SCQ it never reports "full": the intended
 // usage (aq/fq index rings) guarantees at most n live indices.
+//
+//wfq:noalloc
 func (q *Ring) Enqueue(index uint64) {
 	for {
 		if _, ok := q.TryEnqueue(index); ok {
@@ -230,20 +256,23 @@ const (
 // abandoning one without the slot transition would let a late
 // enqueuer of the same cycle publish a value at a position Head has
 // already passed, losing it.
+//
+//wfq:noalloc
 func (q *Ring) dequeueAt(h uint64) (index uint64, st deqStatus) {
 	hCycle := q.cycleOf(h)
+	bottom, bottomC := q.bottom, q.bottomC // hoisted: loop-invariant (//wfq:stable)
 	e := &q.entries[ring.Remap(h&q.posMask, q.order)]
 	for {
 		w := e.Load()
 		eCycle, safe, idx := q.unpack(w)
 		if eCycle == hCycle {
 			// consume: set the index bits to ⊥c, keep cycle/safe.
-			q.entryOr(e, q.bottomC)
+			q.entryOr(e, bottomC)
 			return idx, deqGot
 		}
 		var nw uint64
-		if idx == q.bottom || idx == q.bottomC {
-			nw = q.pack(hCycle, safe, q.bottom)
+		if idx == bottom || idx == bottomC {
+			nw = q.pack(hCycle, safe, bottom)
 		} else {
 			nw = q.pack(eCycle, 0, idx) // mark unsafe, keep the value
 		}
@@ -268,6 +297,8 @@ func (q *Ring) dequeueAt(h uint64) (index uint64, st deqStatus) {
 
 // tryDequeue performs one fast-path dequeue attempt (try_deq in
 // Fig. 3).
+//
+//wfq:noalloc
 func (q *Ring) tryDequeue() (ticket, index uint64, st deqStatus) {
 	h := q.head.Add(1)
 	index, st = q.dequeueAt(h)
@@ -276,6 +307,8 @@ func (q *Ring) tryDequeue() (ticket, index uint64, st deqStatus) {
 
 // Dequeue removes and returns the oldest index. ok is false when the
 // queue is empty.
+//
+//wfq:noalloc
 func (q *Ring) Dequeue() (index uint64, ok bool) {
 	if q.threshold.Load() < 0 {
 		return 0, false
@@ -305,6 +338,8 @@ func (q *Ring) Dequeue() (index uint64, ok bool) {
 // reaches the run's first element it consumes the rest with successful
 // (non-decrementing) attempts — the first element's reset covers the
 // whole run, and the scalar degrade path resets per element as usual.
+//
+//wfq:noalloc
 func (q *Ring) EnqueueBatch(indices []uint64) {
 	k := len(indices)
 	if k == 0 {
@@ -341,6 +376,8 @@ func (q *Ring) EnqueueBatch(indices []uint64) {
 // contract is load-bearing (Chan parks on it), so when every reserved
 // ticket lands in a transient retry state the batch falls back to the
 // scalar Dequeue rather than reporting a spurious 0.
+//
+//wfq:noalloc
 func (q *Ring) DequeueBatch(out []uint64) int {
 	if len(out) == 0 || q.threshold.Load() < 0 {
 		return 0
@@ -397,6 +434,8 @@ func (q *Ring) DequeueBatch(out []uint64) int {
 // catchup advances Tail to Head when dequeuers have overrun all
 // enqueuers (so that subsequent empty checks exit quickly). Bounded to
 // MaxCatchup iterations; it is purely a performance aid.
+//
+//wfq:noalloc
 func (q *Ring) catchup(tail, head uint64) {
 	for i := 0; i < MaxCatchup; i++ {
 		if q.tail.CompareAndSwap(tail, head) {
@@ -441,6 +480,8 @@ func NewQueue[T any](capacity uint64, mode atomicx.Mode) (*Queue[T], error) {
 }
 
 // Enqueue appends v. It returns false when the queue is full.
+//
+//wfq:noalloc
 func (q *Queue[T]) Enqueue(v T) bool {
 	idx, ok := q.fq.Dequeue()
 	if !ok {
@@ -453,6 +494,8 @@ func (q *Queue[T]) Enqueue(v T) bool {
 
 // Seal closes the queue for enqueues: EnqueueSealed fails once the
 // seal is visible. Dequeues drain the remaining elements normally.
+//
+//wfq:noalloc
 func (q *Queue[T]) Seal() { q.sealed.Store(true) }
 
 // Reset reopens a sealed queue for enqueues. It is only sound on a
@@ -460,6 +503,8 @@ func (q *Queue[T]) Seal() { q.sealed.Store(true) }
 // unbounded construction's ring recycling, where the retire handshake
 // guarantees exclusivity); the rings' monotonic cycle counters carry
 // on, so no other state needs rewinding.
+//
+//wfq:noalloc
 func (q *Queue[T]) Reset() { q.sealed.Store(false) }
 
 // Drained reports that no value can ever be produced by this queue
@@ -468,11 +513,15 @@ func (q *Queue[T]) Reset() { q.sealed.Store(false) }
 // BEFORE the seal check in EnqueueSealed, so (with sequentially
 // consistent atomics) observing sealed && inflight==0 proves any
 // future EnqueueSealed will observe the seal and fail.
+//
+//wfq:noalloc
 func (q *Queue[T]) Drained() bool {
 	return q.sealed.Load() && q.inflight.Load() == 0 && q.aq.Drained()
 }
 
 // EnqueueSealed appends v unless the queue is full or sealed.
+//
+//wfq:noalloc
 func (q *Queue[T]) EnqueueSealed(v T) bool {
 	q.inflight.Add(1)
 	defer q.inflight.Add(-1)
@@ -510,6 +559,8 @@ func (q *Queue[T]) Register() *QueueHandle[T] {
 // per call, so a batch far larger than the ring must not pin a
 // buffer sized to the batch (short counts are within the batch
 // contract; the caller resumes with the remainder).
+//
+//wfq:allocok grows to ring capacity once per handle, then reused
 func (h *QueueHandle[T]) scratch(n int) []uint64 {
 	if c := int(h.q.Cap()); n > c {
 		n = c
@@ -521,19 +572,27 @@ func (h *QueueHandle[T]) scratch(n int) []uint64 {
 }
 
 // Enqueue appends v; it returns false when the queue is full.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) Enqueue(v T) bool { return h.q.Enqueue(v) }
 
 // Dequeue removes and returns the oldest value; ok is false when the
 // queue is empty.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) Dequeue() (v T, ok bool) { return h.q.Dequeue() }
 
 // EnqueueSealed appends v unless the queue is full or sealed.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) EnqueueSealed(v T) bool { return h.q.EnqueueSealed(v) }
 
 // EnqueueBatch appends a prefix of vs in order and returns its length;
 // a short count means the queue filled up mid-batch. Index traffic
 // with fq/aq moves through the native ring batch operations: one
 // reservation F&A per ring for the whole batch.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) EnqueueBatch(vs []T) int {
 	if len(vs) == 0 {
 		return 0
@@ -550,6 +609,8 @@ func (h *QueueHandle[T]) EnqueueBatch(vs []T) int {
 
 // DequeueBatch fills a prefix of out with the oldest values and
 // returns its length; 0 means the queue appeared empty.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) DequeueBatch(out []T) int {
 	if len(out) == 0 {
 		return 0
@@ -570,6 +631,8 @@ func (h *QueueHandle[T]) DequeueBatch(out []T) int {
 // EnqueueSealedBatch is EnqueueBatch unless the queue is sealed, in
 // which case it appends nothing (the unbounded construction's batch
 // enqueue rolls over to a fresh ring on a short count).
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) EnqueueSealedBatch(vs []T) int {
 	q := h.q
 	q.inflight.Add(1)
@@ -582,6 +645,8 @@ func (h *QueueHandle[T]) EnqueueSealedBatch(vs []T) int {
 
 // Dequeue removes and returns the oldest value. ok is false when the
 // queue is empty.
+//
+//wfq:noalloc
 func (q *Queue[T]) Dequeue() (v T, ok bool) {
 	idx, ok := q.aq.Dequeue()
 	if !ok {
@@ -596,13 +661,15 @@ func (q *Queue[T]) Dequeue() (v T, ok bool) {
 }
 
 // Cap returns the queue capacity.
+//
+//wfq:noalloc
 func (q *Queue[T]) Cap() uint64 { return q.aq.n }
 
 // Footprint returns the statically allocated byte size (rings + data
 // array descriptor; excludes the payloads' own heap, which belongs to
 // the caller).
+//
+//wfq:noalloc
 func (q *Queue[T]) Footprint() uint64 {
-	var t T
-	_ = t
 	return q.aq.Footprint() + q.fq.Footprint() + uint64(cap(q.data))*8
 }

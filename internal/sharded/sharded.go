@@ -110,11 +110,11 @@ type Queue[T any] struct {
 // Handle is a goroutine's capability to use a sharded Queue. Like the
 // underlying core handles it must not be shared between goroutines.
 type Handle[T any] struct {
-	hs     []ringcore.Handle[T]
-	n      int // shard count
-	home   int
-	cursor int // steal scan position, persists across calls
-	streak int // consecutive steals from shard `cursor`
+	hs     []ringcore.Handle[T] //wfq:stable
+	n      int                  //wfq:stable shard count
+	home   int                  //wfq:stable
+	cursor int                  // steal scan position, persists across calls
+	streak int                  // consecutive steals from shard `cursor`
 }
 
 // stealStride bounds how many consecutive steals a handle takes from
@@ -171,16 +171,15 @@ func New[T any](capacity uint64, maxThreads int, opts *Options) (*Queue[T], erro
 func (q *Queue[T]) Register() (*Handle[T], error) {
 	n := q.Shards()
 	home := int((q.nextHome.Add(1) - 1) % int64(n))
-	h := &Handle[T]{n: n, home: home, cursor: home}
-	h.hs = make([]ringcore.Handle[T], n)
+	hs := make([]ringcore.Handle[T], n)
 	for i, core := range q.cores {
 		ch, err := core.Acquire()
 		if err != nil {
 			return nil, fmt.Errorf("sharded: registering with shard %d: %w", i, err)
 		}
-		h.hs[i] = ch
+		hs[i] = ch
 	}
-	return h, nil
+	return &Handle[T]{hs: hs, n: n, home: home, cursor: home}, nil
 }
 
 // Shards returns the shard count.
@@ -224,6 +223,8 @@ func (c shardedCore[T]) Kind() ringcore.Kind                  { return c.q.kind 
 // Enqueue appends v to the handle's home shard; false means that shard
 // is full (see the package comment for the capacity relaxation; with
 // unbounded shards it cannot happen).
+//
+//wfq:noalloc
 func (h *Handle[T]) Enqueue(v T) bool {
 	return h.hs[h.home].Enqueue(v)
 }
@@ -231,10 +232,14 @@ func (h *Handle[T]) Enqueue(v T) bool {
 // EnqueueSealed is Enqueue: a sharded composition is never sealed
 // (sealing is the linked-ring recycling lifecycle, which lives below
 // this layer). It exists so *Handle satisfies ringcore.Handle.
+//
+//wfq:noalloc
 func (h *Handle[T]) EnqueueSealed(v T) bool { return h.Enqueue(v) }
 
 // EnqueueSealedBatch is EnqueueBatch, for the same reason as
 // EnqueueSealed.
+//
+//wfq:noalloc
 func (h *Handle[T]) EnqueueSealedBatch(vs []T) int { return h.EnqueueBatch(vs) }
 
 // Dequeue removes the oldest value of some shard: the home shard
@@ -242,6 +247,8 @@ func (h *Handle[T]) EnqueueSealedBatch(vs []T) int { return h.EnqueueBatch(vs) }
 // handle preferentially drains the shard it fills), then a stealing
 // scan over the others from the persistent cursor. ok is false only
 // after home plus a full scan found every shard empty.
+//
+//wfq:noalloc
 func (h *Handle[T]) Dequeue() (v T, ok bool) {
 	if v, ok = h.hs[h.home].Dequeue(); ok {
 		return v, ok
@@ -252,16 +259,19 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 // steal scans the foreign shards round-robin from the cursor. On a
 // hit the cursor sticks (the shard likely has more) up to stealStride
 // consecutive steals, then rotates onward.
+//
+//wfq:noalloc
 func (h *Handle[T]) steal() (v T, ok bool) {
-	for i := 0; i < h.n; i++ {
+	hs, n, home := h.hs, h.n, h.home // hoisted: loop-invariant (//wfq:stable)
+	for i := 0; i < n; i++ {
 		s := h.cursor + i
-		if s >= h.n {
-			s -= h.n
+		if s >= n {
+			s -= n
 		}
-		if s == h.home {
+		if s == home {
 			continue // already probed
 		}
-		if v, ok := h.hs[s].Dequeue(); ok {
+		if v, ok := hs[s].Dequeue(); ok {
 			if s == h.cursor {
 				h.streak++
 			} else {
@@ -270,7 +280,7 @@ func (h *Handle[T]) steal() (v T, ok bool) {
 			if h.streak >= stealStride {
 				h.streak = 0
 				s++
-				if s == h.n {
+				if s == n {
 					s = 0
 				}
 			}
@@ -287,6 +297,8 @@ func (h *Handle[T]) steal() (v T, ok bool) {
 // preserving per-handle FIFO order — a short count means the home
 // shard filled up, which unbounded shards never do). The home shard
 // is resolved once for the whole batch.
+//
+//wfq:noalloc
 func (h *Handle[T]) EnqueueBatch(vs []T) int {
 	return h.hs[h.home].EnqueueBatch(vs)
 }
@@ -294,9 +306,12 @@ func (h *Handle[T]) EnqueueBatch(vs []T) int {
 // drainInto repeatedly batch-dequeues shard s into out until out is
 // full or the shard appears empty, returning how many values were
 // written and whether the shard looked drained.
+//
+//wfq:noalloc
 func (h *Handle[T]) drainInto(s int, out []T) (n int, drained bool) {
+	sh := h.hs[s]
 	for n < len(out) {
-		got := h.hs[s].DequeueBatch(out[n:])
+		got := sh.DequeueBatch(out[n:])
 		if got == 0 {
 			return n, true
 		}
@@ -312,19 +327,22 @@ func (h *Handle[T]) drainInto(s int, out []T) (n int, drained bool) {
 // holds across batches exactly as it does for scalar steals. It
 // returns how many values were written; 0 means home plus a full scan
 // found all shards empty.
+//
+//wfq:noalloc
 func (h *Handle[T]) DequeueBatch(out []T) int {
-	filled, _ := h.drainInto(h.home, out)
+	n, home := h.n, h.home // hoisted: loop-invariant (//wfq:stable)
+	filled, _ := h.drainInto(home, out)
 	start := h.cursor
-	for i := 0; i < h.n && filled < len(out); i++ {
+	for i := 0; i < n && filled < len(out); i++ {
 		s := start + i
-		if s >= h.n {
-			s -= h.n
+		if s >= n {
+			s -= n
 		}
-		if s == h.home {
+		if s == home {
 			continue // already drained
 		}
-		n, drained := h.drainInto(s, out[filled:])
-		filled += n
+		got, drained := h.drainInto(s, out[filled:])
+		filled += got
 		if !drained {
 			// Buffer full mid-shard: the shard may have more. Stick to
 			// it, unless the accumulated streak exhausts the fairness
@@ -332,21 +350,21 @@ func (h *Handle[T]) DequeueBatch(out []T) int {
 			// per-shard, exactly as in the scalar steal(): a run from a
 			// shard other than the current cursor starts a fresh streak.
 			if s == h.cursor {
-				h.streak += n
+				h.streak += got
 			} else {
-				h.streak = n
+				h.streak = got
 			}
 			if h.streak >= stealStride {
 				h.streak = 0
 				s++
-				if s == h.n {
+				if s == n {
 					s = 0
 				}
 			}
 			h.cursor = s
-		} else if n > 0 {
+		} else if got > 0 {
 			next := s + 1
-			if next == h.n {
+			if next == n {
 				next = 0
 			}
 			h.cursor = next

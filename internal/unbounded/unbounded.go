@@ -66,6 +66,8 @@ type node[T any] struct {
 // rings of the configured kind. Enqueue never reports full: a sealed
 // or full tail ring is replaced by a fresh (pooled or newly allocated)
 // ring.
+//
+//wfq:isolate
 type Queue[T any] struct {
 	_       pad.Line
 	head    atomic.Pointer[node[T]]
@@ -74,9 +76,9 @@ type Queue[T any] struct {
 	_       pad.Line
 	mk      func() (ringcore.Ring[T], error)
 	pool    ringPool[T]
-	allocd  atomic.Int64 // rings ever constructed
-	reused  atomic.Int64 // rings served from the pool
-	handles atomic.Int64
+	allocd  atomic.Int64 //wfq:cold rings ever constructed: once per turnover
+	reused  atomic.Int64 //wfq:cold rings served from the pool: once per turnover
+	handles atomic.Int64 //wfq:cold registration only
 	// maxHandles bounds Handle() calls (0 = unlimited). Census kinds
 	// (wCQ) set it to the per-ring thread census so view registration
 	// can never fail.
@@ -183,6 +185,8 @@ func (q *Queue[T]) Footprint() uint64 {
 // an append or a retire), so a handle registers with any given ring
 // at most once — the invariant that keeps wCQ's per-ring census
 // sufficient.
+//
+//wfq:allocok per-ring view cache: registers once per ring generation
 func (h *Handle[T]) view(r ringcore.Ring[T]) (ringcore.Handle[T], error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -235,6 +239,8 @@ func (q *Queue[T]) reachableRings() map[ringcore.Ring[T]]bool {
 // registered as in flight until linkRing or returnRing retires the
 // append, so concurrent view pruning cannot orphan census
 // registrations.
+//
+//wfq:allocok ring turnover: pooled or freshly allocated, once per ringCap values
 func (q *Queue[T]) takeRing() (ringcore.Ring[T], error) {
 	if r, ok := q.pool.get(); ok {
 		r.Reset()
@@ -251,11 +257,15 @@ func (q *Queue[T]) takeRing() (ringcore.Ring[T], error) {
 }
 
 // linkRing retires a successful append.
+//
+//wfq:allocok mutex-guarded turnover bookkeeping
 func (q *Queue[T]) linkRing(r ringcore.Ring[T]) { q.pool.unmarkInflight(r) }
 
 // returnRing retires a lost append: the seeded value is reclaimed by
 // the caller beforehand, and the (sealed, drained) ring goes back to
 // the pool.
+//
+//wfq:allocok mutex-guarded turnover bookkeeping
 func (q *Queue[T]) returnRing(r ringcore.Ring[T]) {
 	r.Seal()
 	q.pool.put(r)
@@ -267,6 +277,8 @@ func (q *Queue[T]) returnRing(r ringcore.Ring[T]) {
 // for broken invariants (ring construction or census failures that the
 // constructors rule out); callers that used the constructors can treat
 // it as impossible.
+//
+//wfq:noalloc
 func (h *Handle[T]) Enqueue(v T) error {
 	q := h.q
 	for {
@@ -314,9 +326,9 @@ func (h *Handle[T]) Enqueue(v T) error {
 		if !nv.EnqueueSealed(v) {
 			q.pool.unmarkInflight(nr)
 			ltail.pins.Add(-1)
-			return fmt.Errorf("unbounded: fresh ring rejected enqueue")
+			return fmt.Errorf("unbounded: fresh ring rejected enqueue") //wfq:ignore hotalloc broken-invariant path
 		}
-		nn := &node[T]{r: nr}
+		nn := &node[T]{r: nr} //wfq:ignore hotalloc growth path: one node per ring turnover
 		if ltail.next.CompareAndSwap(nil, nn) {
 			q.tail.CompareAndSwap(ltail, nn)
 			q.linkRing(nr)
@@ -334,6 +346,8 @@ func (h *Handle[T]) Enqueue(v T) error {
 
 // Dequeue removes the oldest value; ok is false when the whole queue
 // is empty. Errors are reserved for broken invariants, like Enqueue's.
+//
+//wfq:noalloc
 func (h *Handle[T]) Dequeue() (v T, ok bool, err error) {
 	q := h.q
 	var zero T
@@ -390,6 +404,8 @@ func (h *Handle[T]) Dequeue() (v T, ok bool, err error) {
 // free space spans rings without losing its internal order. Like
 // Enqueue it always succeeds; the error is reserved for broken
 // invariants.
+//
+//wfq:noalloc
 func (h *Handle[T]) EnqueueBatch(vs []T) error {
 	q := h.q
 	sent := 0
@@ -439,9 +455,9 @@ func (h *Handle[T]) EnqueueBatch(vs []T) error {
 		if m == 0 {
 			q.pool.unmarkInflight(nr)
 			ltail.pins.Add(-1)
-			return fmt.Errorf("unbounded: fresh ring rejected batch enqueue")
+			return fmt.Errorf("unbounded: fresh ring rejected batch enqueue") //wfq:ignore hotalloc broken-invariant path
 		}
-		nn := &node[T]{r: nr}
+		nn := &node[T]{r: nr} //wfq:ignore hotalloc growth path: one node per ring turnover
 		if ltail.next.CompareAndSwap(nil, nn) {
 			q.tail.CompareAndSwap(ltail, nn)
 			q.linkRing(nr)
@@ -468,6 +484,8 @@ func (h *Handle[T]) EnqueueBatch(vs []T) error {
 // It returns how many values were written; 0 means the whole queue
 // appeared empty. A batch cut short by a ring whose producers are
 // still in flight returns the partial prefix instead of spinning.
+//
+//wfq:noalloc
 func (h *Handle[T]) DequeueBatch(out []T) (int, error) {
 	q := h.q
 	filled := 0
@@ -524,6 +542,8 @@ func (h *Handle[T]) DequeueBatch(out []T) (int, error) {
 // its ring only if no straggler holds a pin (see the node comment for
 // why this order is the whole proof). Either path releases the
 // in-flight mark.
+//
+//wfq:allocok mutex-guarded turnover bookkeeping
 func (q *Queue[T]) retire(n *node[T]) {
 	n.retired.Store(true)
 	if n.pins.Load() == 0 {
@@ -573,6 +593,7 @@ func (p *ringPool[T]) put(r ringcore.Ring[T]) {
 	}
 }
 
+//wfq:allocok mutex-guarded turnover bookkeeping
 func (p *ringPool[T]) markInflight(r ringcore.Ring[T]) {
 	p.mu.Lock()
 	p.markInflightLocked(r)
@@ -586,6 +607,7 @@ func (p *ringPool[T]) markInflightLocked(r ringcore.Ring[T]) {
 	p.inflight[r]++
 }
 
+//wfq:allocok mutex-guarded turnover bookkeeping
 func (p *ringPool[T]) unmarkInflight(r ringcore.Ring[T]) {
 	p.mu.Lock()
 	p.unmarkInflightLocked(r)
@@ -647,6 +669,7 @@ func (c ubCore[T]) Kind() ringcore.Kind { return c.q.kind }
 // unbounded composite is never sealed), and invariant errors panic.
 type ubHandle[T any] struct{ h *Handle[T] }
 
+//wfq:noalloc
 func (h ubHandle[T]) Enqueue(v T) bool {
 	if err := h.h.Enqueue(v); err != nil {
 		panic("unbounded: enqueue invariant broken: " + err.Error())
@@ -654,6 +677,7 @@ func (h ubHandle[T]) Enqueue(v T) bool {
 	return true
 }
 
+//wfq:noalloc
 func (h ubHandle[T]) Dequeue() (T, bool) {
 	v, ok, err := h.h.Dequeue()
 	if err != nil {
@@ -662,6 +686,7 @@ func (h ubHandle[T]) Dequeue() (T, bool) {
 	return v, ok
 }
 
+//wfq:noalloc
 func (h ubHandle[T]) EnqueueBatch(vs []T) int {
 	if err := h.h.EnqueueBatch(vs); err != nil {
 		panic("unbounded: batch enqueue invariant broken: " + err.Error())
@@ -669,6 +694,7 @@ func (h ubHandle[T]) EnqueueBatch(vs []T) int {
 	return len(vs)
 }
 
+//wfq:noalloc
 func (h ubHandle[T]) DequeueBatch(out []T) int {
 	n, err := h.h.DequeueBatch(out)
 	if err != nil {
@@ -677,5 +703,8 @@ func (h ubHandle[T]) DequeueBatch(out []T) int {
 	return n
 }
 
-func (h ubHandle[T]) EnqueueSealed(v T) bool        { return h.Enqueue(v) }
+//wfq:noalloc
+func (h ubHandle[T]) EnqueueSealed(v T) bool { return h.Enqueue(v) }
+
+//wfq:noalloc
 func (h ubHandle[T]) EnqueueSealedBatch(vs []T) int { return h.EnqueueBatch(vs) }

@@ -59,12 +59,18 @@ const (
 
 // packGlobal builds a global Head/Tail word from a counter and a
 // phase2 thread index (tidp = tid+1; 0 means "no request").
+//
+//wfq:noalloc
 func packGlobal(cnt, tidp uint64) uint64 { return tidp<<tidShift | cnt&cntMask }
 
 // globalCnt extracts the counter component.
+//
+//wfq:noalloc
 func globalCnt(w uint64) uint64 { return w & cntMask }
 
 // globalTidp extracts the thread-index-plus-one component.
+//
+//wfq:noalloc
 func globalTidp(w uint64) uint64 { return w >> tidShift }
 
 // layout holds the per-ring bit-field geometry.
@@ -126,6 +132,8 @@ type entry struct {
 }
 
 // pack assembles the slot word.
+//
+//wfq:noalloc
 func (l *layout) pack(e entry) uint64 {
 	w := e.note<<l.noteShift | e.cycle<<l.vcShift | e.index
 	if e.safe {
@@ -138,6 +146,8 @@ func (l *layout) pack(e entry) uint64 {
 }
 
 // unpack splits a slot word.
+//
+//wfq:noalloc
 func (l *layout) unpack(w uint64) entry {
 	return entry{
 		note:  w >> l.noteShift & l.cycMask,
@@ -150,11 +160,15 @@ func (l *layout) unpack(w uint64) entry {
 
 // withNote returns w with only the Note field replaced — the paper's
 // "avert" CAS2 that keeps Value intact.
+//
+//wfq:noalloc
 func (l *layout) withNote(w, note uint64) uint64 {
 	return w&^(l.cycMask<<l.noteShift) | note<<l.noteShift
 }
 
 // cycleOf maps a Head/Tail counter value to its (truncated) ring cycle.
+//
+//wfq:noalloc
 func (l *layout) cycleOf(c uint64) uint64 { return c >> l.order & l.cycMask }
 
 // initialWord is the slot state at construction: {Note: none,

@@ -38,6 +38,8 @@ type QueueHandle[T any] struct {
 // per call, so a batch far larger than the ring must not pin a
 // buffer sized to the batch (short counts are within the batch
 // contract; the caller resumes with the remainder).
+//
+//wfq:allocok grows to ring capacity once per handle, then reused
 func (h *QueueHandle[T]) scratch(n int) []uint64 {
 	if c := int(h.q.Cap()); n > c {
 		n = c
@@ -78,6 +80,8 @@ func (q *Queue[T]) Register() (*QueueHandle[T], error) {
 
 // Enqueue appends v; it returns false when the queue is full. The
 // operation is wait-free.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) Enqueue(v T) bool {
 	idx, ok := h.fqh.Dequeue()
 	if !ok {
@@ -90,6 +94,8 @@ func (h *QueueHandle[T]) Enqueue(v T) bool {
 
 // Dequeue removes and returns the oldest value; ok is false when the
 // queue is empty. The operation is wait-free.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) Dequeue() (v T, ok bool) {
 	idx, ok := h.aqh.Dequeue()
 	if !ok {
@@ -108,6 +114,8 @@ func (h *QueueHandle[T]) Dequeue() (v T, ok bool) {
 // with fq/aq moves through the native wait-free ring batches, so the
 // fast path pays one F&A per ring per batch instead of one per
 // element. The operation is wait-free (two bounded ring batches).
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) EnqueueBatch(vs []T) int {
 	if len(vs) == 0 {
 		return 0
@@ -124,6 +132,8 @@ func (h *QueueHandle[T]) EnqueueBatch(vs []T) int {
 // DequeueBatch fills a prefix of out with the oldest values and
 // returns its length; 0 means the queue appeared empty. Wait-free
 // like EnqueueBatch.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) DequeueBatch(out []T) int {
 	if len(out) == 0 {
 		return 0
@@ -143,6 +153,8 @@ func (h *QueueHandle[T]) DequeueBatch(out []T) int {
 // EnqueueSealedBatch is EnqueueBatch unless the queue is sealed, in
 // which case it appends nothing (the unbounded construction's batch
 // enqueue rolls over to a fresh ring on a short count).
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) EnqueueSealedBatch(vs []T) int {
 	q := h.q
 	q.inflight.Add(1)
@@ -156,6 +168,8 @@ func (h *QueueHandle[T]) EnqueueSealedBatch(vs []T) int {
 // Seal closes the queue for enqueues (the appendix's finalize_wCQ):
 // EnqueueSealed fails once the seal is visible, while dequeues drain
 // the remaining elements normally.
+//
+//wfq:noalloc
 func (q *Queue[T]) Seal() { q.sealed.Store(true) }
 
 // Reset reopens a sealed queue for enqueues. It is only sound on a
@@ -164,17 +178,23 @@ func (q *Queue[T]) Seal() { q.sealed.Store(true) }
 // guarantees exclusivity); the rings' monotonic cycle counters carry
 // on, so no other state needs rewinding. Handles registered before the
 // seal stay valid.
+//
+//wfq:noalloc
 func (q *Queue[T]) Reset() { q.sealed.Store(false) }
 
 // Drained reports that no value can ever be produced by this queue
 // again: sealed, no enqueue in flight, and every enqueue ticket
 // examined. EnqueueSealed registers in inflight BEFORE checking the
 // seal, so with sequentially consistent atomics this is exact.
+//
+//wfq:noalloc
 func (q *Queue[T]) Drained() bool {
 	return q.sealed.Load() && q.inflight.Load() == 0 && q.aq.Drained()
 }
 
 // EnqueueSealed appends v unless the queue is full or sealed.
+//
+//wfq:noalloc
 func (h *QueueHandle[T]) EnqueueSealed(v T) bool {
 	q := h.q
 	q.inflight.Add(1)
@@ -186,10 +206,14 @@ func (h *QueueHandle[T]) EnqueueSealed(v T) bool {
 }
 
 // Cap returns the queue capacity.
+//
+//wfq:noalloc
 func (q *Queue[T]) Cap() uint64 { return q.aq.Cap() }
 
 // Footprint returns the statically allocated byte size of the queue
 // (both rings, thread records and the payload array slots).
+//
+//wfq:noalloc
 func (q *Queue[T]) Footprint() uint64 {
 	return q.aq.Footprint() + q.fq.Footprint() + uint64(cap(q.data))*8
 }

@@ -30,6 +30,8 @@ import (
 // enqueueSlow drives one enqueue help request to completion. r is the
 // helpee's record; self is the EXECUTING thread's record (its phase2
 // slot is used for global increments). seq frames the request.
+//
+//wfq:noalloc
 func (q *Ring) enqueueSlow(t, index uint64, r *record, seq uint64, self *record) {
 	v := t
 	for q.slowFAA(&q.tail, &r.localTail, &v, false, self) {
@@ -46,6 +48,8 @@ func (q *Ring) enqueueSlow(t, index uint64, r *record, seq uint64, self *record)
 // the fast path, the Threshold is decremented inside slow_F&A — once
 // per global Head increment across the whole cooperative group
 // (Lemma 5.6), preserving the 3n-1 bound.
+//
+//wfq:noalloc
 func (q *Ring) dequeueSlow(h uint64, r *record, seq uint64, self *record) {
 	v := h
 	for q.slowFAA(&q.head, &r.localHead, &v, true, self) {
@@ -70,6 +74,8 @@ func (q *Ring) dequeueSlow(h uint64, r *record, seq uint64, self *record) {
 // by the installer or by any thread that observes the publication
 // (loadGlobalHelpPhase2). Paired counters increase monotonically, so
 // the packed {cnt, tid} word is ABA-free.
+//
+//wfq:noalloc
 func (q *Ring) slowFAA(global *counterRef, local *atomic.Uint64, v *uint64, useThld bool, self *record) bool {
 	ph := &self.phase2
 	for {
@@ -109,6 +115,8 @@ func (q *Ring) slowFAA(global *counterRef, local *atomic.Uint64, v *uint64, useT
 // loadGlobalHelpPhase2 loads the global word, first completing any
 // published phase-2 request (Fig. 7, load_global_help_phase2). ok is
 // false when the caller's request has been finalized.
+//
+//wfq:noalloc
 func (q *Ring) loadGlobalHelpPhase2(global *counterRef, mylocal *atomic.Uint64) (cnt uint64, ok bool) {
 	for {
 		if mylocal.Load()&flagFIN != 0 {
@@ -140,8 +148,11 @@ func (q *Ring) loadGlobalHelpPhase2(global *counterRef, mylocal *atomic.Uint64) 
 // try_enq_slow). Returns true when the request is complete at this
 // ticket (inserted by us or a peer), false when the group must advance
 // to the next ticket.
+//
+//wfq:noalloc
 func (q *Ring) tryEnqSlow(t, index uint64, r *record) bool {
 	l := &q.lay
+	thresh3 := q.thresh3 // hoisted: loop-invariant (//wfq:stable)
 	tCycle := l.cycleOf(t)
 	e := &q.entries[ring.Remap(t&l.posMask, l.order)]
 	for {
@@ -179,8 +190,8 @@ func (q *Ring) tryEnqSlow(t, index uint64, r *record) bool {
 		if r.localTail.CompareAndSwap(t, t|flagFIN) {
 			e.CompareAndSwap(nw, nw|l.enqBit)
 		}
-		if q.threshold.Load() != q.thresh3 {
-			q.threshold.Store(q.thresh3)
+		if q.threshold.Load() != thresh3 {
+			q.threshold.Store(thresh3)
 		}
 		return true
 	}
@@ -190,6 +201,8 @@ func (q *Ring) tryEnqSlow(t, index uint64, r *record) bool {
 // try_deq_slow). On success the result is NOT consumed here — helpers
 // only set FIN; the helpee gathers and consumes the value afterwards
 // (Fig. 5, lines 48-54), so exactly one value is delivered.
+//
+//wfq:noalloc
 func (q *Ring) tryDeqSlow(h uint64, r *record) bool {
 	l := &q.lay
 	hCycle := l.cycleOf(h)

@@ -51,12 +51,14 @@ func (o *Options) withDefaults() Options {
 
 // Ring is a bounded wait-free MPMC queue of indices in [0, Cap()).
 // All memory is allocated at construction; operations never allocate.
+//
+//wfq:isolate
 type Ring struct {
-	lay     layout
-	n       uint64 // usable capacity
-	thresh3 int64  // 3n-1
-	emulate bool
-	opts    Options
+	lay     layout  //wfq:stable
+	n       uint64  //wfq:stable usable capacity
+	thresh3 int64   //wfq:stable 3n-1
+	emulate bool    //wfq:stable
+	opts    Options //wfq:stable
 
 	_         pad.Line
 	tail      atomicx.Counter // packed {cnt, phase2 tid+1}
@@ -69,7 +71,7 @@ type Ring struct {
 	entries []atomic.Uint64
 
 	recs      []record
-	nextRec   atomic.Int64
+	nextRec   atomic.Int64 //wfq:cold registration only
 	maxThread int
 }
 
@@ -139,21 +141,31 @@ func (q *Ring) Register() (*Handle, error) {
 }
 
 // Cap returns the usable capacity n.
+//
+//wfq:noalloc
 func (q *Ring) Cap() uint64 { return q.n }
 
 // Footprint returns the statically allocated byte size of the ring
 // (entries + thread records + control words), for the Fig. 10a
 // memory-usage reproduction.
+//
+//wfq:noalloc
 func (q *Ring) Footprint() uint64 {
 	const recSize = 192 // unsafe.Sizeof(record{}) rounded to lines
 	return uint64(len(q.entries))*8 + uint64(len(q.recs))*recSize + 6*pad.CacheLineSize
 }
 
 // tailCnt / headCnt read the counter component of the packed globals.
+//
+//wfq:noalloc
 func (q *Ring) tailCnt() uint64 { return globalCnt(q.tail.Load()) }
+
+//wfq:noalloc
 func (q *Ring) headCnt() uint64 { return globalCnt(q.head.Load()) }
 
 // thresholdFAA adds d to Threshold and returns the previous value.
+//
+//wfq:noalloc
 func (q *Ring) thresholdFAA(d int64) int64 {
 	if !q.emulate {
 		return q.threshold.Add(d) - d
@@ -168,6 +180,8 @@ func (q *Ring) thresholdFAA(d int64) int64 {
 
 // entryOr ORs bits into a slot word (consume's atomic OR; emulated via
 // CAS in the PowerPC configuration, §3.3).
+//
+//wfq:noalloc
 func (q *Ring) entryOr(e *atomic.Uint64, bits uint64) {
 	if !q.emulate {
 		e.Or(bits)
@@ -189,6 +203,8 @@ func (q *Ring) entryOr(e *atomic.Uint64, bits uint64) {
 // two-step window (Enq=0), the dequeuer first finalizes that helping
 // request so the producer's helpers stop. selfTid < 0 means "not a
 // registered thread" (only used single-threaded).
+//
+//wfq:noalloc
 func (q *Ring) consume(h uint64, e *atomic.Uint64, w uint64, selfTid int) {
 	if w&q.lay.enqBit == 0 {
 		q.finalizeRequest(h, selfTid)
@@ -200,6 +216,8 @@ func (q *Ring) consume(h uint64, e *atomic.Uint64, w uint64, selfTid int) {
 // request whose current position is h (Fig. 5, finalize_request). The
 // caller's own record is skipped: a dequeuing thread cannot be the
 // pending enqueuer.
+//
+//wfq:noalloc
 func (q *Ring) finalizeRequest(h uint64, selfTid int) {
 	for i := range q.recs {
 		if i == selfTid {
@@ -217,6 +235,8 @@ func (q *Ring) finalizeRequest(h uint64, selfTid int) {
 // Tail ticket t: the slot examination and the entry CAS, without the
 // F&A and without the threshold reset (the callers own both, so the
 // batch path can amortize them across a whole reservation).
+//
+//wfq:noalloc
 func (q *Ring) enqueueAt(t, index uint64) bool {
 	l := &q.lay
 	tCycle := l.cycleOf(t)
@@ -239,6 +259,8 @@ func (q *Ring) enqueueAt(t, index uint64) bool {
 
 // resetThreshold performs the post-enqueue threshold reset (the load
 // avoids a shared write when the threshold is already pegged).
+//
+//wfq:noalloc
 func (q *Ring) resetThreshold() {
 	if q.threshold.Load() != q.thresh3 {
 		q.threshold.Store(q.thresh3)
@@ -248,6 +270,8 @@ func (q *Ring) resetThreshold() {
 // tryEnqueue is the fast path (try_enq, Fig. 3, with the Enq bit set in
 // one step and the Note field preserved). On failure it returns the
 // consumed Tail ticket to seed the slow path.
+//
+//wfq:noalloc
 func (q *Ring) tryEnqueue(index uint64) (ticket uint64, ok bool) {
 	t := globalCnt(q.tail.Add(1))
 	if q.enqueueAt(t, index) {
@@ -275,6 +299,8 @@ const (
 // abandoning one without the slot transition would let a late
 // enqueuer of the same cycle publish a value at a position Head has
 // already passed, losing it.
+//
+//wfq:noalloc
 func (q *Ring) dequeueAt(h uint64, selfTid int) (index uint64, st deqStatus) {
 	l := &q.lay
 	hCycle := l.cycleOf(h)
@@ -313,6 +339,8 @@ func (q *Ring) dequeueAt(h uint64, selfTid int) (index uint64, st deqStatus) {
 // tryDequeue is the fast path (try_deq, Fig. 3 adapted per Fig. 5:
 // consume finalizes Enq=0 producers; Note and Enq are preserved by the
 // transition CASes).
+//
+//wfq:noalloc
 func (q *Ring) tryDequeue(selfTid int) (ticket, index uint64, st deqStatus) {
 	h := globalCnt(q.head.Add(1))
 	index, st = q.dequeueAt(h, selfTid)
@@ -321,6 +349,8 @@ func (q *Ring) tryDequeue(selfTid int) (ticket, index uint64, st deqStatus) {
 
 // catchup advances the Tail counter to head when dequeuers overran all
 // enqueuers, preserving the packed phase2 component. Bounded per §3.2.
+//
+//wfq:noalloc
 func (q *Ring) catchup(tail, head uint64) {
 	for i := 0; i < MaxCatchup; i++ {
 		tw := q.tail.Load()
@@ -341,16 +371,22 @@ func (q *Ring) catchup(tail, head uint64) {
 // cycLess compares two truncated cycle values. Cycles are monotonic and
 // far from wrapping in any supported run (see package comment), so a
 // plain comparison is used, as in the paper.
+//
+//wfq:noalloc
 func cycLess(a, b uint64) bool { return a < b }
 
 // Drained reports whether the head counter has caught the tail
 // counter (every enqueue ticket examined).
+//
+//wfq:noalloc
 func (q *Ring) Drained() bool { return q.headCnt() >= q.tailCnt() }
 
 // Enqueue inserts index. It is wait-free: after EnqPatience fast-path
 // attempts it switches to the helped slow path, which completes in a
 // bounded number of steps. Like the paper's Enqueue_wCQ it assumes at
 // most Cap() live indices (aq/fq usage) and so never reports "full".
+//
+//wfq:noalloc
 func (h *Handle) Enqueue(index uint64) {
 	q, r := h.q, h.r
 	q.helpThreads(r)
@@ -378,6 +414,8 @@ func (h *Handle) Enqueue(index uint64) {
 
 // Dequeue removes and returns the oldest index; ok is false when the
 // queue is empty. Wait-free by the same fast-path/slow-path structure.
+//
+//wfq:noalloc
 func (h *Handle) Dequeue() (index uint64, ok bool) {
 	q, r := h.q, h.r
 	if q.threshold.Load() < 0 {
@@ -434,6 +472,8 @@ func (h *Handle) Dequeue() (index uint64, ok bool) {
 // reaches the run's first element it consumes the rest with successful
 // (non-decrementing) attempts — the first element's reset covers the
 // whole run, and the degrade path resets per element as usual.
+//
+//wfq:noalloc
 func (h *Handle) EnqueueBatch(indices []uint64) {
 	k := len(indices)
 	if k == 0 {
@@ -471,6 +511,8 @@ func (h *Handle) EnqueueBatch(indices []uint64) {
 // scalar Dequeue rather than reporting a spurious 0. The batch stays
 // wait-free by construction: exactly k bounded per-ticket protocols
 // plus at most one wait-free scalar Dequeue.
+//
+//wfq:noalloc
 func (h *Handle) DequeueBatch(out []uint64) int {
 	q, r := h.q, h.r
 	if len(out) == 0 || q.threshold.Load() < 0 {
@@ -529,6 +571,8 @@ func (h *Handle) DequeueBatch(out []uint64) int {
 }
 
 // helpThreads periodically scans for pending help requests (Fig. 6).
+//
+//wfq:noalloc
 func (q *Ring) helpThreads(r *record) {
 	r.nextCheck--
 	if r.nextCheck != 0 {
@@ -551,6 +595,8 @@ func (q *Ring) helpThreads(r *record) {
 }
 
 // helpEnqueue snapshots thr's request and joins its slow path (Fig. 6).
+//
+//wfq:noalloc
 func (q *Ring) helpEnqueue(thr *record, self *record) {
 	seq := thr.seq2.Load()
 	enq := thr.enqueue.Load()
@@ -561,6 +607,7 @@ func (q *Ring) helpEnqueue(thr *record, self *record) {
 	}
 }
 
+//wfq:noalloc
 func (q *Ring) helpDequeue(thr *record, self *record) {
 	seq := thr.seq2.Load()
 	enq := thr.enqueue.Load()

@@ -56,13 +56,13 @@ const pendingBit = uint64(1) << 63
 // helping protocol. (The deq-request slot of the original is unused by
 // the simplified dequeue path.)
 type cell struct {
-	val uint64 // accessed atomically; 0=⊥, ^0=⊤, else payload+1
+	val atomic.Uint64 // 0=⊥, ^0=⊤, else payload+1
 	enq atomic.Pointer[enqReq]
 }
 
-func (c *cell) loadVal() uint64 { return atomic.LoadUint64(&c.val) }
+func (c *cell) loadVal() uint64 { return c.val.Load() }
 func (c *cell) casVal(o, n uint64) bool {
-	return atomic.CompareAndSwapUint64(&c.val, o, n)
+	return c.val.CompareAndSwap(o, n)
 }
 
 // topReq poisons a cell's request slot so no slow enqueue can commit
@@ -76,6 +76,8 @@ type segment struct {
 }
 
 // Queue is the YMC queue.
+//
+//wfq:isolate
 type Queue struct {
 	_             pad.Line
 	tail          atomic.Uint64 // enqueue ticket counter
@@ -84,8 +86,8 @@ type Queue struct {
 	_             pad.Line
 	segHead       atomic.Pointer[segment] // lowest live segment (GC frontier)
 	_             pad.Line
-	segsAllocated atomic.Int64
-	handles       atomic.Int64
+	segsAllocated atomic.Int64 //wfq:cold once per segment allocation
+	handles       atomic.Int64 //wfq:cold registration only
 	maxThreads    int64
 }
 

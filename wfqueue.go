@@ -194,22 +194,30 @@ func (q *Queue[T]) Footprint() uint64 { return q.q.Footprint() }
 
 // Enqueue appends v; it returns false when the queue is full. The
 // operation completes in a bounded number of steps.
+//
+//wfq:noalloc
 func (h *Handle[T]) Enqueue(v T) bool { return h.h.Enqueue(v) }
 
 // Dequeue removes and returns the oldest value; ok is false when the
 // queue is empty. The operation completes in a bounded number of
 // steps.
+//
+//wfq:noalloc
 func (h *Handle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
 
 // EnqueueBatch appends a prefix of vs in order and returns its length
 // (a short count means the queue filled up mid-batch). The fast path
 // reserves the whole batch with one fetch-and-add per underlying ring
 // instead of one per element; the operation stays wait-free.
+//
+//wfq:noalloc
 func (h *Handle[T]) EnqueueBatch(vs []T) int { return h.h.EnqueueBatch(vs) }
 
 // DequeueBatch fills a prefix of out with the oldest values and
 // returns its length; 0 means the queue appeared empty. One
 // reservation fetch-and-add per ring on the fast path; wait-free.
+//
+//wfq:noalloc
 func (h *Handle[T]) DequeueBatch(out []T) int { return h.h.DequeueBatch(out) }
 
 // Ring is a bounded wait-free MPMC queue of indices in [0, Cap()) —
@@ -260,9 +268,13 @@ func (r *Ring) Cap() uint64 { return r.r.Cap() }
 // Enqueue inserts an index in [0, Cap()). The ring never reports full:
 // the caller must keep at most Cap() indices live (as a free-list
 // naturally does).
+//
+//wfq:noalloc
 func (h *RingHandle) Enqueue(index uint64) { h.h.Enqueue(index) }
 
 // Dequeue removes the oldest index; ok is false when empty.
+//
+//wfq:noalloc
 func (h *RingHandle) Dequeue() (index uint64, ok bool) { return h.h.Dequeue() }
 
 // LockFreeQueue is the SCQ variant: identical structure, lock-free
@@ -286,9 +298,13 @@ func NewLockFree[T any](capacity uint64, opts ...Option) (*LockFreeQueue[T], err
 }
 
 // Enqueue appends v; false when full. Safe for any goroutine.
+//
+//wfq:noalloc
 func (q *LockFreeQueue[T]) Enqueue(v T) bool { return q.q.Enqueue(v) }
 
 // Dequeue removes the oldest value; ok is false when empty.
+//
+//wfq:noalloc
 func (q *LockFreeQueue[T]) Dequeue() (T, bool) { return q.q.Dequeue() }
 
 // Handle returns a per-goroutine view carrying the zero-allocation
@@ -317,19 +333,27 @@ type LockFreeHandle[T any] struct {
 }
 
 // Enqueue appends v; false when full.
+//
+//wfq:noalloc
 func (h *LockFreeHandle[T]) Enqueue(v T) bool { return h.h.Enqueue(v) }
 
 // Dequeue removes the oldest value; ok is false when empty.
+//
+//wfq:noalloc
 func (h *LockFreeHandle[T]) Dequeue() (T, bool) { return h.h.Dequeue() }
 
 // EnqueueBatch appends a prefix of vs in order and returns its length
 // (a short count means the queue filled up mid-batch). The whole
 // batch is reserved with one fetch-and-add per ring instead of one
 // per element; the steady-state hot path allocates nothing.
+//
+//wfq:noalloc
 func (h *LockFreeHandle[T]) EnqueueBatch(vs []T) int { return h.h.EnqueueBatch(vs) }
 
 // DequeueBatch fills a prefix of out with the oldest values and
 // returns its length; 0 means the queue appeared empty.
+//
+//wfq:noalloc
 func (h *LockFreeHandle[T]) DequeueBatch(out []T) int { return h.h.DequeueBatch(out) }
 
 // ShardedQueue composes several independent ring cores into one queue
@@ -416,17 +440,25 @@ func (q *ShardedQueue[T]) Footprint() uint64 { return q.q.Footprint() }
 
 // Enqueue appends v to the handle's home shard; false means that
 // shard is full (never the case with unbounded shards).
+//
+//wfq:noalloc
 func (h *ShardedHandle[T]) Enqueue(v T) bool { return h.h.Enqueue(v) }
 
 // Dequeue removes the oldest value of some shard; ok is false only
 // after every shard looked empty in one scan.
+//
+//wfq:noalloc
 func (h *ShardedHandle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
 
 // EnqueueBatch appends a prefix of vs in order, paying the shard
 // selection once for the whole batch; it returns how many values were
 // enqueued (short counts mean the home shard filled up).
+//
+//wfq:noalloc
 func (h *ShardedHandle[T]) EnqueueBatch(vs []T) int { return h.h.EnqueueBatch(vs) }
 
 // DequeueBatch fills a prefix of out, draining runs from one shard
 // before rotating; it returns how many values were written.
+//
+//wfq:noalloc
 func (h *ShardedHandle[T]) DequeueBatch(out []T) int { return h.h.DequeueBatch(out) }
