@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/park"
 	"repro/internal/queueapi"
 )
@@ -161,7 +162,11 @@ type Chan[T any] struct {
 	// hand the only wake to a sender whose shard is still full, which
 	// re-parks and strands a free slot forever).
 	shardedFull bool
-	closed      atomic.Bool
+	// met is the metrics sink shared with the backing core and both
+	// park points (nil when WithMetrics was not given): the Chan layer
+	// adds the close-drain count on top of the layers below.
+	met    *metrics.Sink
+	closed atomic.Bool
 	// sending counts in-flight Send/TrySend calls. Receivers treat
 	// "closed" as final only once this is zero: a sender that passed
 	// the closed check may still be buffering its value, and draining
@@ -238,8 +243,18 @@ func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], 
 	default:
 		return nil, fmt.Errorf("wfqueue: unknown chan backend %d", o.backend)
 	}
-	return &Chan[T]{core: core, shardedFull: o.backend == BackendSharded}, nil
+	c := &Chan[T]{core: core, shardedFull: o.backend == BackendSharded, met: o.metrics}
+	c.notEmpty.SetMetrics(o.metrics)
+	c.notFull.SetMetrics(o.metrics)
+	return c, nil
 }
+
+// Stats snapshots the Chan's metrics sink: park/wake traffic and
+// parked durations from both park points, close-drain observations,
+// and every event the backing core recorded into the shared sink. The
+// zero snapshot is returned when the Chan was built without
+// WithMetrics.
+func (c *Chan[T]) Stats() MetricsSnapshot { return c.met.Snapshot() }
 
 // wakeNotFull wakes parked senders after a slot frees up: one sender
 // on single-ring backends (any sender can use any slot), all of them
@@ -409,6 +424,7 @@ func (h *ChanHandle[T]) TryRecv() (v T, ok bool, err error) {
 			c.wakeNotFull()
 			return v, true, nil
 		}
+		c.met.Inc(metrics.CloseDrain)
 		return zero, false, ErrClosed
 	}
 	return zero, false, nil
@@ -528,6 +544,7 @@ func (h *ChanHandle[T]) TryRecvMany(out []T) (int, error) {
 			c.wakeNotFullN(n)
 			return n, nil
 		}
+		c.met.Inc(metrics.CloseDrain)
 		return 0, ErrClosed
 	}
 	return 0, nil
@@ -574,6 +591,7 @@ func (h *ChanHandle[T]) RecvManyCtx(ctx context.Context, out []T) (int, error) {
 			// Nudge any sibling still parked so it re-evaluates the
 			// drained state too.
 			c.notEmpty.WakeAll()
+			c.met.Inc(metrics.CloseDrain)
 			return 0, ErrClosed
 		}
 		select {
@@ -616,6 +634,7 @@ func (h *ChanHandle[T]) RecvCtx(ctx context.Context) (T, error) {
 			// Nudge any sibling still parked so it re-evaluates the
 			// drained state too.
 			c.notEmpty.WakeAll()
+			c.met.Inc(metrics.CloseDrain)
 			return zero, ErrClosed
 		}
 		select {

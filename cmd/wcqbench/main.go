@@ -29,39 +29,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/clihelper"
 	"repro/internal/harness"
 )
-
-// benchFile is the machine-readable result format (-json): one record
-// per run, one point per (figure, queue, threads). It is what lets
-// the perf trajectory be tracked across commits instead of living in
-// prose.
-type benchFile struct {
-	Schema     string       `json:"schema"` // "wcqbench/v1"
-	Time       string       `json:"time"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"num_cpu"`
-	Ops        int          `json:"ops"`
-	Reps       int          `json:"reps"`
-	Points     []benchPoint `json:"points"`
-}
-
-type benchPoint struct {
-	Figure   string  `json:"figure"`
-	Queue    string  `json:"queue"`
-	Threads  int     `json:"threads"`
-	Batch    int     `json:"batch,omitempty"`
-	Burst    int     `json:"burst,omitempty"`
-	MopsMin  float64 `json:"mops_min,omitempty"`
-	MopsMean float64 `json:"mops_mean,omitempty"`
-	MemoryMB float64 `json:"memory_mb,omitempty"`
-	// FootprintMB is the queue's own Footprint() after the run: the
-	// real summed allocation of the sharded compositions and the
-	// post-run retention of the unbounded queues (see harness.Point).
-	FootprintMB float64 `json:"footprint_mb,omitempty"`
-	Err         string  `json:"error,omitempty"`
-}
 
 func main() {
 	var (
@@ -93,6 +64,7 @@ func main() {
 		Capacity:   shared.Capacity,
 		Emulate:    shared.Emulate,
 		Core:       shared.CoreOptions(),
+		Metrics:    shared.Metrics,
 	}
 	if shared.Capacity == 1<<16 {
 		opts.Capacity = 0 // the default: let each figure use the paper's ring size
@@ -125,14 +97,7 @@ func main() {
 		time.Now().Format(time.RFC3339), runtime.GOMAXPROCS(0), runtime.NumCPU())
 	fmt.Fprintf(&md, "ops/point=%d reps=%d\n\n", *ops, *reps)
 
-	jf := benchFile{
-		Schema:     "wcqbench/v1",
-		Time:       time.Now().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Ops:        *ops,
-		Reps:       *reps,
-	}
+	jf := benchfmt.New(*ops, *reps)
 
 	for _, f := range figs {
 		start := time.Now()
@@ -140,7 +105,7 @@ func main() {
 		f.Render(os.Stdout, pts, opts)
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 		for _, pt := range pts {
-			bp := benchPoint{Figure: f.ID, Queue: pt.Queue, Threads: pt.Threads, Burst: pt.Burst}
+			bp := benchfmt.Point{Figure: f.ID, Queue: pt.Queue, Threads: pt.Threads, Burst: pt.Burst}
 			switch {
 			case pt.Batch > 0:
 				// Batch-sweep figures (p2) stamp their own per-point size.
@@ -213,7 +178,7 @@ func main() {
 // load), the native batch=32 per-element throughput must strictly beat
 // the scalar (batch=1) path for both ring cores. Being relative to the
 // run itself, the check is robust to absolute host speed.
-func smokeBatch(points []benchPoint) error {
+func smokeBatch(points []benchfmt.Point) error {
 	mean := map[string]float64{}
 	for _, p := range points {
 		if p.Figure == "p2" && p.Err == "" {
@@ -249,13 +214,14 @@ func reportWakeupLatency(f harness.Figure, opts harness.RunOpts, shared *clihelp
 			fmt.Fprintf(&sb, "%-12s n/a (%v)\n", name, err)
 			continue
 		}
-		sum, err := harness.WakeupLatency(name, cfg, samples)
+		hist, err := harness.WakeupLatency(name, cfg, samples)
 		if err != nil {
 			fmt.Fprintf(&sb, "%-12s n/a (%v)\n", name, err)
 			continue
 		}
-		fmt.Fprintf(&sb, "%-12s mean %.1f  median %.1f  min %.1f  max %.1f\n",
-			name, sum.Mean, sum.Median, sum.Min, sum.Max)
+		us := func(q float64) float64 { return float64(hist.Quantile(q)) / 1e3 }
+		fmt.Fprintf(&sb, "%-12s p50 %.1f  p90 %.1f  p99 %.1f  p99.9 %.1f  max %.1f\n",
+			name, us(0.50), us(0.90), us(0.99), us(0.999), float64(hist.Max)/1e3)
 	}
 	fmt.Print(sb.String() + "\n")
 	if record {

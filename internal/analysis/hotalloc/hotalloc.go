@@ -19,8 +19,10 @@
 //     non-pointer-shaped concrete value where an interface is expected
 //   - calls to module-internal functions not annotated //wfq:noalloc
 //     or //wfq:allocok, calls to external packages outside the
-//     allocation-free whitelist (sync/atomic, math/bits, runtime), and
-//     calls through function values
+//     allocation-free whitelist (sync/atomic, math/bits, runtime) and
+//     per-function whitelist (time.Now, time.Since — the timestamp
+//     sources metrics instrumentation needs on hot paths), and calls
+//     through function values
 //
 // Deliberately allowed:
 //
@@ -59,6 +61,16 @@ var whitelist = map[string]bool{
 	"sync/atomic": true,
 	"math/bits":   true,
 	"runtime":     true,
+}
+
+// funcWhitelist admits individual external functions from packages
+// that are not allocation-free as a whole. time.Now and time.Since
+// are the timestamp sources the metrics layer samples on noalloc hot
+// paths (park/wake durations, op-latency histograms); both compile to
+// runtime nanotime/walltime calls and return by value.
+var funcWhitelist = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -341,7 +353,7 @@ func (w *walker) checkStaticCall(call *ast.CallExpr, fn *types.Func) {
 		}
 		return
 	}
-	if !whitelist[path] {
+	if !whitelist[path] && !funcWhitelist[fn.FullName()] {
 		w.reportf(call.Pos(), "calls %s; package %s is not on the allocation-free whitelist", fn.FullName(), path)
 	}
 }

@@ -5,7 +5,10 @@
 // stay silent.
 package hotallocfix
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 type entry struct {
 	cycle uint64
@@ -108,6 +111,18 @@ func drain(c consumer, vs []uint64) int {
 //wfq:noalloc
 func whitelisted(p *atomic.Uint64) uint64 {
 	return p.Add(1)
+}
+
+// timestamped is the metrics-instrumentation shape: time.Now and
+// time.Since are individually whitelisted (the rest of package time is
+// not), so a noalloc path can sample durations into a histogram.
+//
+//wfq:noalloc
+func timestamped(p *atomic.Uint64) {
+	t := time.Now()
+	p.Add(uint64(time.Since(t)))
+	time.Sleep(0)               // want "calls time.Sleep; package time is not on the allocation-free whitelist"
+	p.Add(uint64(t.UnixNano())) // want "calls \\(time.Time\\).UnixNano; package time is not on the allocation-free whitelist"
 }
 
 // suppressed shows the escape hatch for an audited one-off.

@@ -10,8 +10,8 @@ type options struct {
 }
 
 type ring struct {
-	mask uint64 //wfq:stable
-	opts options //wfq:stable
+	mask uint64        //wfq:stable
+	opts options       //wfq:stable
 	mode atomic.Uint64 //wfq:stable set once at construction
 	head atomic.Uint64
 	seen uint64
@@ -20,7 +20,7 @@ type ring struct {
 func bad(r *ring, vs []uint64) uint64 {
 	var acc uint64
 	for i := 0; i < len(vs); i++ {
-		acc += vs[i] & r.mask // want "read of //wfq:stable field ring.mask inside a loop"
+		acc += vs[i] & r.mask                  // want "read of //wfq:stable field ring.mask inside a loop"
 		for j := 0; j < r.opts.patience; j++ { // want "read of //wfq:stable field ring.opts inside a loop"
 			if r.mode.Load() != 0 { // want "read of //wfq:stable field ring.mode inside a loop"
 				break

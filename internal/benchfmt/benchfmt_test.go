@@ -1,0 +1,81 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validFile() File {
+	f := New(1000, 3)
+	f.Points = []Point{
+		{Figure: "p2", Queue: "wCQ", Threads: 4, Batch: 32, MopsMin: 1.5, MopsMean: 2.0},
+		{Figure: "p2", Queue: "LCRQ", Threads: 4, Err: "not available without CAS2"},
+	}
+	return f
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	f := validFile()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+	}{
+		{"wrong schema", func(f *File) { f.Schema = "wcqbench/v0" }},
+		{"bad time", func(f *File) { f.Time = "yesterday" }},
+		{"zero gomaxprocs", func(f *File) { f.GoMaxProcs = 0 }},
+		{"unnamed point", func(f *File) { f.Points[0].Queue = "" }},
+		{"zero threads", func(f *File) { f.Points[0].Threads = 0 }},
+		{"min above mean", func(f *File) { f.Points[0].MopsMin = 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFile()
+			tc.mutate(&f)
+			if err := f.Validate(); err == nil {
+				t.Fatal("validation passed on a malformed file")
+			}
+		})
+	}
+}
+
+func TestAppendAndValidateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshots.jsonl")
+	for i := 0; i < 3; i++ {
+		if err := Append(path, validFile()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := ValidateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("validated %d records, want 3", n)
+	}
+}
+
+func TestAppendRefusesInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshots.jsonl")
+	f := validFile()
+	f.Schema = "nope"
+	if err := Append(path, f); err == nil {
+		t.Fatal("Append accepted an invalid file")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("Append wrote a record it should have refused")
+	}
+}
+
+func TestValidateStreamRejectsGarbageLine(t *testing.T) {
+	if _, err := ValidateStream(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage line validated")
+	}
+}

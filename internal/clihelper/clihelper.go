@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/atomicx"
+	"repro/internal/metrics"
 	"repro/internal/queues"
 	"repro/internal/ringcore"
 )
@@ -38,6 +39,9 @@ type Flags struct {
 	// Blocking exercises the blocking Chan facades (Send/Recv with
 	// parking and graceful close) instead of the nonblocking queues.
 	Blocking bool
+	// Metrics gives each constructed queue a live metrics sink, so the
+	// run measures (and can report) the instrumented configuration.
+	Metrics bool
 }
 
 // Register installs the shared queue-construction flags on fs. The
@@ -53,6 +57,7 @@ func Register(fs *flag.FlagSet, defaultCapacity uint64) *Flags {
 	fs.BoolVar(&f.Emulate, "emulate", false, "CAS-emulated F&A (PowerPC mode)")
 	fs.BoolVar(&f.Slowpath, "slowpath", false, "wCQ: patience 1 + eager helping (forces the helped slow paths)")
 	fs.BoolVar(&f.Blocking, "blocking", false, "exercise the blocking Chan facades (parked Send/Recv, graceful close)")
+	fs.BoolVar(&f.Metrics, "metrics", false, "enable the internal metrics sink on every constructed queue (measures the instrumented configuration)")
 	return f
 }
 
@@ -85,6 +90,9 @@ func (f *Flags) Config(maxThreads int) (queues.Config, error) {
 	}
 	if f.Emulate {
 		cfg.Mode = atomicx.EmulatedFAA
+	}
+	if f.Metrics {
+		cfg.Metrics = metrics.New()
 	}
 	cfg.Core = f.CoreOptions()
 	return cfg, nil

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/queueapi"
 	"repro/internal/queues"
 	"repro/internal/stats"
@@ -117,28 +118,35 @@ func runBlockingOnce(name string, cfg queues.Config, opts PointOpts) (mops, memM
 // is the delay until Recv returns with that payload. This is the
 // latency cost of parking instead of spin-polling (figure b1's
 // companion metric).
-func WakeupLatency(name string, cfg queues.Config, samples int) (stats.Summary, error) {
+//
+// Samples come back as a log-bucketed histogram in nanoseconds, so
+// callers report tail percentiles (p99, p99.9, max) rather than a
+// mean — wakeup latency is tail-dominated, and a mean over a few
+// slow scheduler round-trips hides exactly the samples that matter.
+func WakeupLatency(name string, cfg queues.Config, samples int) (metrics.HistogramSnapshot, error) {
+	var zero metrics.HistogramSnapshot
 	if cfg.MaxThreads < 3 {
 		cfg.MaxThreads = 3
 	}
 	q, err := queues.New(name, cfg)
 	if err != nil {
-		return stats.Summary{}, err
+		return zero, err
 	}
 	closer, ok := q.(queueapi.Closer)
 	if !ok {
-		return stats.Summary{}, fmt.Errorf("harness: %s is not a blocking queue", name)
+		return zero, fmt.Errorf("harness: %s is not a blocking queue", name)
 	}
 	sender, err := queueapi.WaitableHandle(q)
 	if err != nil {
-		return stats.Summary{}, err
+		return zero, err
 	}
 	receiver, err := queueapi.WaitableHandle(q)
 	if err != nil {
-		return stats.Summary{}, err
+		return zero, err
 	}
 
-	micros := make(chan float64, samples)
+	hist := metrics.NewHistogram()
+	nanos := make(chan uint64, samples)
 	done := make(chan error, 1)
 	go func() {
 		for {
@@ -151,7 +159,7 @@ func WakeupLatency(name string, cfg queues.Config, samples int) (stats.Summary, 
 				return
 			}
 			// The payload is the send timestamp (UnixNano).
-			micros <- float64(time.Now().UnixNano()-int64(v)) / 1e3
+			nanos <- uint64(time.Now().UnixNano() - int64(v))
 		}
 	}()
 	for i := 0; i < samples; i++ {
@@ -160,18 +168,17 @@ func WakeupLatency(name string, cfg queues.Config, samples int) (stats.Summary, 
 		// the consumer is (usually) parked, and parking is ~µs.
 		time.Sleep(200 * time.Microsecond)
 		if serr := sender.Send(uint64(time.Now().UnixNano())); serr != nil {
-			return stats.Summary{}, serr
+			return zero, serr
 		}
 	}
-	lats := make([]float64, 0, samples)
-	for len(lats) < samples {
-		lats = append(lats, <-micros)
+	for n := 0; n < samples; n++ {
+		hist.Record(<-nanos)
 	}
 	if cerr := closer.Close(); cerr != nil {
-		return stats.Summary{}, cerr
+		return zero, cerr
 	}
 	if werr := <-done; werr != nil {
-		return stats.Summary{}, werr
+		return zero, werr
 	}
-	return stats.Summarize(lats), nil
+	return hist.Snapshot(), nil
 }

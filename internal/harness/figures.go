@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/atomicx"
+	"repro/internal/metrics"
 	"repro/internal/queues"
 	"repro/internal/ringcore"
 	"repro/internal/stats"
@@ -136,6 +137,12 @@ type RunOpts struct {
 	Capacity   uint64        // ring capacity (0 = the paper's 2^16)
 	Emulate    bool          // force CAS-emulated F&A regardless of the figure's mode
 	Core       *ringcore.Options
+	// Metrics gives each point's queue a live metrics sink, so runs
+	// measure the instrumented configuration (the overhead acceptance
+	// check compares a figure with and without this set). Each point
+	// gets a fresh sink; the ring-based queues record into it, the
+	// external baselines ignore it.
+	Metrics bool
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -184,6 +191,9 @@ func (f Figure) Run(opts RunOpts) []Point {
 			if opts.Emulate {
 				cfg.Mode = atomicx.EmulatedFAA
 			}
+			if opts.Metrics {
+				cfg.Metrics = metrics.New()
+			}
 			pts = append(pts, RunPoint(name, cfg, f.Workload, PointOpts{
 				Threads:  th,
 				Ops:      opts.Ops,
@@ -230,6 +240,9 @@ func (f Figure) runBursts(opts RunOpts, qs []string) []Point {
 			}
 			if opts.Emulate {
 				cfg.Mode = atomicx.EmulatedFAA
+			}
+			if opts.Metrics {
+				cfg.Metrics = metrics.New()
 			}
 			pt := Point{Queue: name, Threads: threads, Burst: burst}
 			reps := opts.Reps
@@ -280,6 +293,9 @@ func (f Figure) runBatches(opts RunOpts, qs []string) []Point {
 			}
 			if opts.Emulate {
 				cfg.Mode = atomicx.EmulatedFAA
+			}
+			if opts.Metrics {
+				cfg.Metrics = metrics.New()
 			}
 			pt := RunPoint(name, cfg, f.Workload, PointOpts{
 				Threads: threads,

@@ -327,12 +327,16 @@ func TestWakeupLatency(t *testing.T) {
 	for _, name := range queues.BlockingQueues() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			sum, err := WakeupLatency(name, queues.Config{Capacity: 256}, 8)
+			hist, err := WakeupLatency(name, queues.Config{Capacity: 256}, 8)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if sum.N != 8 || sum.Mean <= 0 {
-				t.Fatalf("latency summary %+v", sum)
+			if hist.Count != 8 || hist.Mean() <= 0 {
+				t.Fatalf("latency histogram count %d mean %f", hist.Count, hist.Mean())
+			}
+			if hist.Quantile(0.999) > hist.Max || hist.Quantile(0.5) == 0 {
+				t.Fatalf("latency percentiles implausible: p50 %d p99.9 %d max %d",
+					hist.Quantile(0.5), hist.Quantile(0.999), hist.Max)
 			}
 		})
 	}

@@ -24,6 +24,9 @@ package park
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Waiter is one goroutine's registration at a Point. It is created by
@@ -33,7 +36,8 @@ type Waiter struct {
 	ch     chan struct{}
 	next   *Waiter
 	prev   *Waiter
-	queued bool // still on the Point's list; guarded by Point.mu
+	queued bool      // still on the Point's list; guarded by Point.mu
+	t0     time.Time // Prepare time, for the parked-duration histogram; zero when metrics are off
 }
 
 // Ready returns the channel a wake token is delivered on. It becomes
@@ -49,10 +53,16 @@ var waiterPool = sync.Pool{New: func() any { return &Waiter{ch: make(chan struct
 // Wakers that find no one sleeping pay a single atomic load.
 type Point struct {
 	waiters atomic.Int32 // registered-and-not-yet-woken count (fast-path gate)
+	met     *metrics.Sink
 	mu      sync.Mutex
 	head    *Waiter // FIFO: head is woken first
 	tail    *Waiter
 }
+
+// SetMetrics points the parking lot at a metrics sink (nil disables):
+// park/wake/spurious-wake counts and the parked-duration histogram.
+// Call it before the Point is shared.
+func (p *Point) SetMetrics(m *metrics.Sink) { p.met = m }
 
 // Prepare registers the calling goroutine as a waiter. The caller
 // MUST re-check its condition after Prepare returns and Abort if it
@@ -62,6 +72,10 @@ type Point struct {
 func (p *Point) Prepare() *Waiter {
 	w := waiterPool.Get().(*Waiter)
 	w.queued = true
+	if p.met.Enabled() {
+		p.met.Inc(metrics.Park)
+		w.t0 = time.Now()
+	}
 	p.mu.Lock()
 	if p.tail == nil {
 		p.head, p.tail = w, w
@@ -100,10 +114,15 @@ func (p *Point) Wake(n int) {
 	if n <= 0 || p.waiters.Load() == 0 {
 		return
 	}
+	met := p.met
 	p.mu.Lock()
 	for ; n > 0 && p.head != nil; n-- {
 		w := p.head
 		p.unlink(w)
+		met.Inc(metrics.Wake)
+		if !w.t0.IsZero() {
+			met.ObserveParked(uint64(time.Since(w.t0)))
+		}
 		w.ch <- struct{}{} // one-slot buffer, at most one token per registration: never blocks
 	}
 	p.mu.Unlock()
@@ -116,10 +135,15 @@ func (p *Point) WakeAll() {
 	if p.waiters.Load() == 0 {
 		return
 	}
+	met := p.met
 	p.mu.Lock()
 	for p.head != nil {
 		w := p.head
 		p.unlink(w)
+		met.Inc(metrics.Wake)
+		if !w.t0.IsZero() {
+			met.ObserveParked(uint64(time.Since(w.t0)))
+		}
 		w.ch <- struct{}{}
 	}
 	p.mu.Unlock()
@@ -140,8 +164,11 @@ func (p *Point) Abort(w *Waiter) {
 	}
 	p.mu.Unlock()
 	// Already woken: the token was buffered under the lock, so this
-	// never blocks. Pass the signal on.
+	// never blocks. Pass the signal on. For the waker the delivery was
+	// wasted — the classic spurious wake — which is what the forwarded
+	// Wake(1) compensates for.
 	<-w.ch
+	p.met.Inc(metrics.SpuriousWake)
 	p.recycle(w)
 	p.Wake(1)
 }
@@ -156,5 +183,6 @@ func (p *Point) Waiters() int { return int(p.waiters.Load()) }
 
 func (p *Point) recycle(w *Waiter) {
 	w.next, w.prev, w.queued = nil, nil, false
+	w.t0 = time.Time{}
 	waiterPool.Put(w)
 }

@@ -12,6 +12,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"repro/internal/metrics"
 )
 
 // ErrClosed reports an operation against a closed queue: a send after
@@ -70,6 +72,14 @@ type Waitable interface {
 // is idempotent in effect; a second call returns ErrClosed.
 type Closer interface {
 	Close() error
+}
+
+// Statser is the optional observability extension of Queue: Stats
+// snapshots the metrics sink the queue was built with. Queues built
+// without a sink (and baselines with no instrumentation) report the
+// zero snapshot or simply do not implement the interface.
+type Statser interface {
+	Stats() metrics.Snapshot
 }
 
 // WaitableHandle returns a fresh handle of q asserted to the blocking

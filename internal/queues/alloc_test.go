@@ -6,11 +6,16 @@
 // hot paths. The unbounded queues are measured in steady state (no
 // ring turnover): the claim there is no allocation per operation, not
 // no allocation per ring rollover.
+//
+// Every case runs twice — sink absent and sink attached — because the
+// metrics layer makes the same claim: recording an event from a hot
+// path is a padded-counter add, never an allocation.
 package queues
 
 import (
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/queueapi"
 )
 
@@ -21,70 +26,110 @@ import (
 // claim's hot path).
 var allocVariants = []string{"wCQ", "SCQ", "Sharded", "ShardedUnbounded", "LSCQ", "UWCQ"}
 
+// allocConfigs pairs each variant run with a disabled and an enabled
+// metrics sink.
+var allocConfigs = []struct {
+	label string
+	sink  func() *metrics.Sink
+}{
+	{"nometrics", func() *metrics.Sink { return nil }},
+	{"metrics", metrics.New},
+}
+
 func TestZeroAllocScalarHotPath(t *testing.T) {
 	for _, name := range allocVariants {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			q, err := New(name, testCfg())
-			if err != nil {
-				t.Fatal(err)
-			}
-			h, err := q.Handle()
-			if err != nil {
-				t.Fatal(err)
-			}
-			// Warm the path (first unbounded op touches its view cache).
-			if !h.Enqueue(1) {
-				t.Fatal("warmup enqueue failed")
-			}
-			h.Dequeue()
-			allocs := testing.AllocsPerRun(200, func() {
-				h.Enqueue(42)
+		for _, mc := range allocConfigs {
+			t.Run(name+"/"+mc.label, func(t *testing.T) {
+				cfg := testCfg()
+				cfg.Metrics = mc.sink()
+				q, err := New(name, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := q.Handle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Warm the path (first unbounded op touches its view cache).
+				if !h.Enqueue(1) {
+					t.Fatal("warmup enqueue failed")
+				}
 				h.Dequeue()
+				allocs := testing.AllocsPerRun(200, func() {
+					h.Enqueue(42)
+					h.Dequeue()
+				})
+				if allocs != 0 {
+					t.Fatalf("scalar enqueue/dequeue pair allocates %.1f objects/op, want 0", allocs)
+				}
 			})
-			if allocs != 0 {
-				t.Fatalf("scalar enqueue/dequeue pair allocates %.1f objects/op, want 0", allocs)
-			}
-		})
+		}
 	}
 }
 
 func TestZeroAllocBatchHotPath(t *testing.T) {
 	const batch = 8
 	for _, name := range allocVariants {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			q, err := New(name, testCfg())
-			if err != nil {
-				t.Fatal(err)
-			}
-			h, err := q.Handle()
-			if err != nil {
-				t.Fatal(err)
-			}
-			b, ok := h.(queueapi.Batcher)
-			if !ok {
-				t.Fatalf("%s handle has no native Batcher", name)
-			}
-			in := make([]uint64, batch)
-			out := make([]uint64, batch)
-			for i := range in {
-				in[i] = uint64(i)
-			}
-			// Warm the path (wCQ handles grow their index scratch once).
-			if n := b.EnqueueBatch(in); n != batch {
-				t.Fatalf("warmup EnqueueBatch = %d", n)
-			}
-			if n := b.DequeueBatch(out); n != batch {
-				t.Fatalf("warmup DequeueBatch = %d", n)
-			}
-			allocs := testing.AllocsPerRun(200, func() {
-				b.EnqueueBatch(in)
-				b.DequeueBatch(out)
+		for _, mc := range allocConfigs {
+			t.Run(name+"/"+mc.label, func(t *testing.T) {
+				cfg := testCfg()
+				cfg.Metrics = mc.sink()
+				q, err := New(name, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := q.Handle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, ok := h.(queueapi.Batcher)
+				if !ok {
+					t.Fatalf("%s handle has no native Batcher", name)
+				}
+				in := make([]uint64, batch)
+				out := make([]uint64, batch)
+				for i := range in {
+					in[i] = uint64(i)
+				}
+				// Warm the path (wCQ handles grow their index scratch once).
+				if n := b.EnqueueBatch(in); n != batch {
+					t.Fatalf("warmup EnqueueBatch = %d", n)
+				}
+				if n := b.DequeueBatch(out); n != batch {
+					t.Fatalf("warmup DequeueBatch = %d", n)
+				}
+				allocs := testing.AllocsPerRun(200, func() {
+					b.EnqueueBatch(in)
+					b.DequeueBatch(out)
+				})
+				if allocs != 0 {
+					t.Fatalf("batch enqueue/dequeue pair allocates %.1f objects/op, want 0", allocs)
+				}
 			})
-			if allocs != 0 {
-				t.Fatalf("batch enqueue/dequeue pair allocates %.1f objects/op, want 0", allocs)
-			}
-		})
+		}
 	}
+}
+
+// TestZeroAllocStatsSnapshot pins the observation side: taking a
+// Stats() snapshot copies fixed-size arrays and must not allocate
+// either, so a scraper can poll a live queue without perturbing it.
+func TestZeroAllocStatsSnapshot(t *testing.T) {
+	cfg := testCfg()
+	cfg.Metrics = metrics.New()
+	q, err := New("wCQ", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := q.(interface{ Stats() metrics.Snapshot })
+	if !ok {
+		t.Fatal("wCQ wrapper has no Stats()")
+	}
+	var snap metrics.Snapshot
+	allocs := testing.AllocsPerRun(100, func() {
+		snap = s.Stats()
+	})
+	if allocs != 0 {
+		t.Fatalf("Stats() allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = snap
 }

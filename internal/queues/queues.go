@@ -24,6 +24,7 @@ import (
 	"repro/internal/crturn"
 	"repro/internal/faa"
 	"repro/internal/lcrq"
+	"repro/internal/metrics"
 	"repro/internal/msq"
 	"repro/internal/queueapi"
 	"repro/internal/ringcore"
@@ -58,6 +59,11 @@ type Config struct {
 	Ring ringcore.Kind
 	// Core tunes the ring cores; nil selects the paper's defaults.
 	Core *ringcore.Options
+	// Metrics, when non-nil, makes the ring-based variants record into
+	// the sink (threaded through every layer of a composition); the
+	// built queue then implements queueapi.Statser. The external
+	// baselines are not instrumented and ignore it.
+	Metrics *metrics.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +87,9 @@ func coreOptions(cfg Config) *ringcore.Options {
 		o = *cfg.Core
 	}
 	o.Mode = cfg.Mode
+	if cfg.Metrics != nil {
+		o.Metrics = cfg.Metrics
+	}
 	return &o
 }
 
@@ -218,6 +227,26 @@ func (w *coreQueue) Handle() (queueapi.Handle, error) {
 func (w *coreQueue) Cap() uint64       { return w.core.Cap() }
 func (w *coreQueue) Footprint() uint64 { return w.core.Footprint() }
 func (w *coreQueue) Name() string      { return w.name }
+
+// Stats satisfies queueapi.Statser through the ringcore Statser
+// contract every ring-based core implements; cores built without a
+// sink report the zero snapshot.
+func (w *coreQueue) Stats() metrics.Snapshot {
+	if s, ok := w.core.(ringcore.Statser); ok {
+		return s.Stats()
+	}
+	return metrics.Snapshot{}
+}
+
+// Rings forwards the live linked-ring population of the unbounded
+// cores (0 for bounded cores, which have exactly their one ring), so
+// observability consumers can gauge growth without knowing the kind.
+func (w *coreQueue) Rings() int {
+	if r, ok := w.core.(interface{ Rings() int }); ok {
+		return r.Rings()
+	}
+	return 0
+}
 
 // --- LCRQ ---
 
@@ -396,6 +425,9 @@ func newChanBuilder(name string, backend wfqueue.Backend) Builder {
 		if cfg.Shards > 0 {
 			opts = append(opts, wfqueue.WithShards(cfg.Shards))
 		}
+		if cfg.Metrics != nil {
+			opts = append(opts, wfqueue.WithMetrics(cfg.Metrics))
+		}
 		if o := cfg.Core; o != nil {
 			opts = append(opts,
 				wfqueue.WithPatience(o.EnqPatience, o.DeqPatience),
@@ -420,6 +452,10 @@ func (w *chanQueue) Cap() uint64       { return w.c.Cap() }
 func (w *chanQueue) Footprint() uint64 { return w.c.Footprint() }
 func (w *chanQueue) Name() string      { return w.name }
 func (w *chanQueue) Close() error      { return w.c.Close() }
+
+// Stats satisfies queueapi.Statser: the Chan's sink aggregates the
+// backing core plus the park points' park/wake/parked-duration data.
+func (w *chanQueue) Stats() metrics.Snapshot { return w.c.Stats() }
 
 // Enqueue and Dequeue keep the nonblocking contract (a closed Chan
 // reads as full and, once drained, empty).

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/atomicx"
+	"repro/internal/metrics"
 	"repro/internal/scq"
 	"repro/internal/wcq"
 )
@@ -92,6 +93,12 @@ type Options struct {
 	// HelpDelay is the number of wCQ operations between help scans
 	// (HELP_DELAY; 0 = paper default).
 	HelpDelay int
+	// Metrics, when non-nil, receives the core's slow-path events
+	// (internal/metrics event taxonomy). Compositions thread the SAME
+	// sink into every sub-core they build from these options, so a
+	// whole stack aggregates into one Sink. nil disables recording at
+	// the cost of one predictable branch per event site.
+	Metrics *metrics.Sink
 }
 
 // WCQ translates the shared options into the wCQ package's own
@@ -108,7 +115,18 @@ func (o *Options) WCQ() *wcq.Options {
 		EnqPatience: o.EnqPatience,
 		DeqPatience: o.DeqPatience,
 		HelpDelay:   o.HelpDelay,
+		Metrics:     o.Metrics,
 	}
+}
+
+// Sink extracts the metrics sink (nil when disabled or when o is nil).
+// Compositions use it to pick up the shared sink for their own events
+// (steals, ring recycling) without re-plumbing a second option.
+func (o *Options) Sink() *metrics.Sink {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
 }
 
 // mode extracts the F&A mode (the only field KindSCQ consults).
@@ -117,6 +135,17 @@ func (o *Options) mode() atomicx.Mode {
 		return atomicx.NativeFAA
 	}
 	return o.Mode
+}
+
+// Statser is the optional introspection face of a core: a snapshot of
+// the metrics sink it records into. Every core and composition in this
+// repository implements it; because one Sink is threaded through all
+// the layers of a composition, the outermost Stats() already
+// aggregates the whole stack. A core built without metrics returns the
+// zero Snapshot.
+type Statser interface {
+	// Stats snapshots the core's metrics sink.
+	Stats() metrics.Snapshot
 }
 
 // Handle is a goroutine's capability to operate on a core. Like the
@@ -198,6 +227,7 @@ func New[T any](kind Kind, capacity uint64, maxThreads int, opts *Options) (Ring
 		if err != nil {
 			return nil, err
 		}
+		q.SetMetrics(opts.Sink())
 		return scqCore[T]{q}, nil
 	}
 	return nil, fmt.Errorf("ringcore: unknown ring kind %d", int(kind))
@@ -212,6 +242,9 @@ type wcqCore[T any] struct{ *wcq.Queue[T] }
 
 // Kind reports KindWCQ.
 func (c wcqCore[T]) Kind() Kind { return KindWCQ }
+
+// Stats snapshots the queue's metrics sink (zero when disabled).
+func (c wcqCore[T]) Stats() metrics.Snapshot { return c.Queue.Metrics().Snapshot() }
 
 // Acquire registers a thread record in both underlying rings; it
 // fails once the census is exhausted.
@@ -230,6 +263,9 @@ type scqCore[T any] struct{ *scq.Queue[T] }
 
 // Kind reports KindSCQ.
 func (c scqCore[T]) Kind() Kind { return KindSCQ }
+
+// Stats snapshots the queue's metrics sink (zero when disabled).
+func (c scqCore[T]) Stats() metrics.Snapshot { return c.Queue.Metrics().Snapshot() }
 
 // Acquire returns a fresh census-free handle.
 func (c scqCore[T]) Acquire() (Handle[T], error) {

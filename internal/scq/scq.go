@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/atomicx"
+	"repro/internal/metrics"
 	"repro/internal/pad"
 	"repro/internal/ring"
 )
@@ -47,6 +48,8 @@ type Ring struct {
 	bottomC uint64 //wfq:stable ⊥c = 2n-1: slot consumed
 	thresh3 int64  //wfq:stable 3n-1
 	emulate bool   //wfq:stable emulated-F&A modes (PowerPC-style CAS loops)
+
+	met *metrics.Sink //wfq:stable nil = disabled; set via SetMetrics before sharing
 
 	_         pad.Line
 	tail      atomicx.Counter
@@ -108,6 +111,15 @@ func NewFullRing(capacity uint64, mode atomicx.Mode) (*Ring, error) {
 //
 //wfq:noalloc
 func (q *Ring) Cap() uint64 { return q.n }
+
+// SetMetrics points the ring at a metrics sink (nil disables). Must be
+// called before the ring is shared; the field is read-only afterwards.
+func (q *Ring) SetMetrics(m *metrics.Sink) { q.met = m }
+
+// Metrics returns the sink this ring records into (nil when disabled).
+//
+//wfq:noalloc
+func (q *Ring) Metrics() *metrics.Sink { return q.met }
 
 // Footprint returns the statically allocated size of the ring in bytes
 // (used by the Figure 10a memory-usage reproduction).
@@ -204,12 +216,14 @@ func (q *Ring) enqueueAt(t, index uint64) bool {
 }
 
 // resetThreshold performs the post-enqueue threshold reset (the load
-// avoids a shared write when the threshold is already pegged).
+// avoids a shared write when the threshold is already pegged, which
+// also keeps the reset counter to genuine re-arms).
 //
 //wfq:noalloc
 func (q *Ring) resetThreshold() {
 	if q.threshold.Load() != q.thresh3 {
 		q.threshold.Store(q.thresh3)
+		q.met.Inc(metrics.ThresholdReset)
 	}
 }
 
@@ -229,10 +243,17 @@ func (q *Ring) TryEnqueue(index uint64) (ticket uint64, ok bool) {
 
 // Enqueue inserts index, retrying the fast path until it succeeds.
 // Like the paper's Enqueue_SCQ it never reports "full": the intended
-// usage (aq/fq index rings) guarantees at most n live indices.
+// usage (aq/fq index rings) guarantees at most n live indices. SCQ has
+// no helped slow path, so "slow" here means leaving the one-attempt
+// fast path and entering the retry regime — the lock-free analogue of
+// wCQ's patience exhaustion, counted once per operation.
 //
 //wfq:noalloc
 func (q *Ring) Enqueue(index uint64) {
+	if _, ok := q.TryEnqueue(index); ok {
+		return
+	}
+	q.met.Inc(metrics.EnqSlowPath)
 	for {
 		if _, ok := q.TryEnqueue(index); ok {
 			return
@@ -306,20 +327,26 @@ func (q *Ring) tryDequeue() (ticket, index uint64, st deqStatus) {
 }
 
 // Dequeue removes and returns the oldest index. ok is false when the
-// queue is empty.
+// queue is empty. The retry regime (first deqRetry status) is counted
+// as the dequeue-side slow-path entry, once per operation.
 //
 //wfq:noalloc
 func (q *Ring) Dequeue() (index uint64, ok bool) {
 	if q.threshold.Load() < 0 {
 		return 0, false
 	}
-	for {
+	met := q.met // hoisted: loop-invariant (//wfq:stable)
+	for slow := false; ; {
 		_, idx, st := q.tryDequeue()
 		switch st {
 		case deqGot:
 			return idx, true
 		case deqEmpty:
 			return 0, false
+		}
+		if !slow {
+			slow = true
+			met.Inc(metrics.DeqSlowPath)
 		}
 	}
 }
@@ -351,11 +378,13 @@ func (q *Ring) EnqueueBatch(indices []uint64) {
 	}
 	t0 := q.tail.Add(uint64(k))
 	thReset := false
+	met := q.met // hoisted: loop-invariant (//wfq:stable)
 	for j, idx := range indices {
 		if !q.enqueueAt(t0+uint64(j), idx) {
 			// Unusable slot: the remaining reserved tickets are
 			// abandoned (safe — identical to failed try_enq tickets)
 			// and the rest of the batch takes the scalar path.
+			met.Inc(metrics.BatchDegrade)
 			for _, v := range indices[j:] {
 				q.Enqueue(v)
 			}
@@ -419,6 +448,7 @@ func (q *Ring) DequeueBatch(out []uint64) int {
 		}
 	}
 	if filled == 0 && sawRetry {
+		q.met.Inc(metrics.BatchDegrade)
 		// Every reserved ticket hit a transient state (e.g. the run of
 		// tickets abandoned by a partially-degraded EnqueueBatch) while
 		// values may sit at later tickets. The scalar path retries until
@@ -659,6 +689,18 @@ func (q *Queue[T]) Dequeue() (v T, ok bool) {
 	q.fq.Enqueue(idx)
 	return v, true
 }
+
+// SetMetrics points both underlying rings at a metrics sink (nil
+// disables). Must be called before the queue is shared.
+func (q *Queue[T]) SetMetrics(m *metrics.Sink) {
+	q.aq.SetMetrics(m)
+	q.fq.SetMetrics(m)
+}
+
+// Metrics returns the sink the queue records into (nil when disabled).
+//
+//wfq:noalloc
+func (q *Queue[T]) Metrics() *metrics.Sink { return q.aq.Metrics() }
 
 // Cap returns the queue capacity.
 //

@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/ringcore"
 	"repro/internal/unbounded"
 )
@@ -104,6 +105,7 @@ type Queue[T any] struct {
 	perCap    uint64 // per-shard capacity; 0 with unbounded shards
 	kind      ringcore.Kind
 	unbounded bool
+	met       *metrics.Sink // shared with every shard via Options.Core
 	nextHome  atomic.Int64
 }
 
@@ -113,6 +115,7 @@ type Handle[T any] struct {
 	hs     []ringcore.Handle[T] //wfq:stable
 	n      int                  //wfq:stable shard count
 	home   int                  //wfq:stable
+	met    *metrics.Sink        //wfq:stable nil = disabled
 	cursor int                  // steal scan position, persists across calls
 	streak int                  // consecutive steals from shard `cursor`
 }
@@ -136,7 +139,7 @@ func New[T any](capacity uint64, maxThreads int, opts *Options) (*Queue[T], erro
 	if o.Shards < 1 {
 		return nil, fmt.Errorf("sharded: shard count must be >= 1, got %d", o.Shards)
 	}
-	q := &Queue[T]{kind: o.Kind, unbounded: o.Unbounded}
+	q := &Queue[T]{kind: o.Kind, unbounded: o.Unbounded, met: o.Core.Sink()}
 	if o.Unbounded {
 		for i := 0; i < o.Shards; i++ {
 			u, err := unbounded.New[T](o.Kind, capacity, maxThreads, o.Core)
@@ -179,11 +182,15 @@ func (q *Queue[T]) Register() (*Handle[T], error) {
 		}
 		hs[i] = ch
 	}
-	return &Handle[T]{hs: hs, n: n, home: home, cursor: home}, nil
+	return &Handle[T]{hs: hs, n: n, home: home, met: q.met, cursor: home}, nil
 }
 
 // Shards returns the shard count.
 func (q *Queue[T]) Shards() int { return len(q.cores) }
+
+// Metrics returns the sink shared by the queue and every shard (nil
+// when metrics are disabled).
+func (q *Queue[T]) Metrics() *metrics.Sink { return q.met }
 
 // Kind returns the ring kind the shards are built from.
 func (q *Queue[T]) Kind() ringcore.Kind { return q.kind }
@@ -219,6 +226,11 @@ func (c shardedCore[T]) Acquire() (ringcore.Handle[T], error) { return c.q.Regis
 func (c shardedCore[T]) Cap() uint64                          { return c.q.Cap() }
 func (c shardedCore[T]) Footprint() uint64                    { return c.q.Footprint() }
 func (c shardedCore[T]) Kind() ringcore.Kind                  { return c.q.kind }
+
+// Stats snapshots the composition's metrics sink. The shards record
+// into the same sink (threaded through Options.Core), so this single
+// snapshot covers steal traffic AND every shard's core events.
+func (c shardedCore[T]) Stats() metrics.Snapshot { return c.q.met.Snapshot() }
 
 // Enqueue appends v to the handle's home shard; false means that shard
 // is full (see the package comment for the capacity relaxation; with
@@ -258,11 +270,15 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 
 // steal scans the foreign shards round-robin from the cursor. On a
 // hit the cursor sticks (the shard likely has more) up to stealStride
-// consecutive steals, then rotates onward.
+// consecutive steals, then rotates onward. Each scan counts one
+// StealAttempt; a scan that yields a value counts one StealHit, so
+// hit/attempt is the steal success rate.
 //
 //wfq:noalloc
 func (h *Handle[T]) steal() (v T, ok bool) {
 	hs, n, home := h.hs, h.n, h.home // hoisted: loop-invariant (//wfq:stable)
+	met := h.met                     // hoisted: loop-invariant (//wfq:stable)
+	met.Inc(metrics.StealAttempt)
 	for i := 0; i < n; i++ {
 		s := h.cursor + i
 		if s >= n {
@@ -285,6 +301,7 @@ func (h *Handle[T]) steal() (v T, ok bool) {
 				}
 			}
 			h.cursor = s
+			met.Inc(metrics.StealHit)
 			return v, true
 		}
 	}
@@ -332,6 +349,12 @@ func (h *Handle[T]) drainInto(s int, out []T) (n int, drained bool) {
 func (h *Handle[T]) DequeueBatch(out []T) int {
 	n, home := h.n, h.home // hoisted: loop-invariant (//wfq:stable)
 	filled, _ := h.drainInto(home, out)
+	fromHome := filled
+	if n > 1 && filled < len(out) {
+		// The foreign scan below will run: one steal attempt, a hit if
+		// it yields anything — the same accounting as the scalar steal.
+		h.met.Inc(metrics.StealAttempt)
+	}
 	start := h.cursor
 	for i := 0; i < n && filled < len(out); i++ {
 		s := start + i
@@ -370,6 +393,9 @@ func (h *Handle[T]) DequeueBatch(out []T) int {
 			h.cursor = next
 			h.streak = 0
 		}
+	}
+	if filled > fromHome {
+		h.met.Inc(metrics.StealHit)
 	}
 	return filled
 }

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/pad"
 	"repro/internal/ringcore"
 )
@@ -75,6 +76,7 @@ type Queue[T any] struct {
 	tail    atomic.Pointer[node[T]]
 	_       pad.Line
 	mk      func() (ringcore.Ring[T], error)
+	met     *metrics.Sink //wfq:stable nil = disabled; shared with the rings via Options
 	pool    ringPool[T]
 	allocd  atomic.Int64 //wfq:cold rings ever constructed: once per turnover
 	reused  atomic.Int64 //wfq:cold rings served from the pool: once per turnover
@@ -113,7 +115,7 @@ func New[T any](kind ringcore.Kind, ringCap uint64, maxThreads int, opts *ringco
 	mk := func() (ringcore.Ring[T], error) {
 		return ringcore.New[T](kind, ringCap, maxThreads, opts)
 	}
-	q := &Queue[T]{mk: mk, ringCap: ringCap, maxHandles: maxHandles, kind: kind}
+	q := &Queue[T]{mk: mk, ringCap: ringCap, maxHandles: maxHandles, kind: kind, met: opts.Sink()}
 	q.pool.max = DefaultPoolRings
 	first, err := mk()
 	if err != nil {
@@ -142,6 +144,10 @@ func (q *Queue[T]) Handle() (*Handle[T], error) {
 
 // Kind returns the ring kind the queue links.
 func (q *Queue[T]) Kind() ringcore.Kind { return q.kind }
+
+// Metrics returns the sink shared by the queue and its rings (nil when
+// metrics are disabled).
+func (q *Queue[T]) Metrics() *metrics.Sink { return q.met }
 
 // RingCap returns the capacity of each ring.
 func (q *Queue[T]) RingCap() uint64 { return q.ringCap }
@@ -245,6 +251,7 @@ func (q *Queue[T]) takeRing() (ringcore.Ring[T], error) {
 	if r, ok := q.pool.get(); ok {
 		r.Reset()
 		q.reused.Add(1)
+		q.met.Inc(metrics.RingPoolHit)
 		return r, nil
 	}
 	r, err := q.mk()
@@ -253,6 +260,7 @@ func (q *Queue[T]) takeRing() (ringcore.Ring[T], error) {
 	}
 	q.pool.markInflight(r)
 	q.allocd.Add(1)
+	q.met.Inc(metrics.RingAlloc)
 	return r, nil
 }
 
@@ -269,6 +277,7 @@ func (q *Queue[T]) linkRing(r ringcore.Ring[T]) { q.pool.unmarkInflight(r) }
 func (q *Queue[T]) returnRing(r ringcore.Ring[T]) {
 	r.Seal()
 	q.pool.put(r)
+	q.met.Inc(metrics.RingRecycle)
 }
 
 // Enqueue appends v. It always succeeds: a sealed or full tail ring is
@@ -281,6 +290,7 @@ func (q *Queue[T]) returnRing(r ringcore.Ring[T]) {
 //wfq:noalloc
 func (h *Handle[T]) Enqueue(v T) error {
 	q := h.q
+	met := q.met // hoisted: loop-invariant (//wfq:stable)
 	for {
 		ltail := q.tail.Load()
 		ltail.pins.Add(1)
@@ -332,6 +342,7 @@ func (h *Handle[T]) Enqueue(v T) error {
 		if ltail.next.CompareAndSwap(nil, nn) {
 			q.tail.CompareAndSwap(ltail, nn)
 			q.linkRing(nr)
+			met.Inc(metrics.RingSeal)
 			ltail.pins.Add(-1)
 			return nil
 		}
@@ -408,6 +419,7 @@ func (h *Handle[T]) Dequeue() (v T, ok bool, err error) {
 //wfq:noalloc
 func (h *Handle[T]) EnqueueBatch(vs []T) error {
 	q := h.q
+	met := q.met // hoisted: loop-invariant (//wfq:stable)
 	sent := 0
 	for sent < len(vs) {
 		ltail := q.tail.Load()
@@ -461,6 +473,7 @@ func (h *Handle[T]) EnqueueBatch(vs []T) error {
 		if ltail.next.CompareAndSwap(nil, nn) {
 			q.tail.CompareAndSwap(ltail, nn)
 			q.linkRing(nr)
+			met.Inc(metrics.RingSeal)
 			ltail.pins.Add(-1)
 			sent += m
 			continue // a batch larger than a ring keeps rolling
@@ -548,6 +561,7 @@ func (q *Queue[T]) retire(n *node[T]) {
 	n.retired.Store(true)
 	if n.pins.Load() == 0 {
 		q.pool.put(n.r)
+		q.met.Inc(metrics.RingRecycle)
 		return
 	}
 	// Pinned: a straggler may still touch the ring; leave it to the GC.
@@ -663,6 +677,15 @@ func (c ubCore[T]) Acquire() (ringcore.Handle[T], error) {
 func (c ubCore[T]) Cap() uint64         { return 0 }
 func (c ubCore[T]) Footprint() uint64   { return c.q.Footprint() }
 func (c ubCore[T]) Kind() ringcore.Kind { return c.q.kind }
+
+// Stats snapshots the queue's metrics sink: the linked rings record
+// their core events into the same sink (threaded through Options), so
+// one snapshot covers ring turnover AND the per-ring slow paths.
+func (c ubCore[T]) Stats() metrics.Snapshot { return c.q.met.Snapshot() }
+
+// Rings forwards the live ring count for gauge exporters that reach
+// the composition through ringcore.Core.
+func (c ubCore[T]) Rings() int { return c.q.Rings() }
 
 // ubHandle adapts *Handle to ringcore.Handle: enqueues always succeed
 // (the queue grows), the sealed variants are plain enqueues (an

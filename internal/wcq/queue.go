@@ -3,6 +3,8 @@ package wcq
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Queue is a bounded wait-free MPMC queue of arbitrary values, built
@@ -209,6 +211,13 @@ func (h *QueueHandle[T]) EnqueueSealed(v T) bool {
 //
 //wfq:noalloc
 func (q *Queue[T]) Cap() uint64 { return q.aq.Cap() }
+
+// Metrics returns the sink both underlying rings record into (nil when
+// metrics are disabled). aq and fq are built from the same Options, so
+// one accessor covers the queue.
+//
+//wfq:noalloc
+func (q *Queue[T]) Metrics() *metrics.Sink { return q.aq.Metrics() }
 
 // Footprint returns the statically allocated byte size of the queue
 // (both rings, thread records and the payload array slots).

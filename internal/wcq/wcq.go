@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/atomicx"
+	"repro/internal/metrics"
 	"repro/internal/pad"
 	"repro/internal/ring"
 )
@@ -30,6 +31,10 @@ type Options struct {
 	DeqPatience int
 	// HelpDelay is the number of operations between help_threads scans.
 	HelpDelay int
+	// Metrics, when non-nil, counts slow-path entries, threshold
+	// resets and batch degradations. nil (the default) records
+	// nothing; each site pays one predictable nil-check branch.
+	Metrics *metrics.Sink
 }
 
 func (o *Options) withDefaults() Options {
@@ -258,14 +263,21 @@ func (q *Ring) enqueueAt(t, index uint64) bool {
 }
 
 // resetThreshold performs the post-enqueue threshold reset (the load
-// avoids a shared write when the threshold is already pegged).
+// avoids a shared write when the threshold is already pegged, which
+// also keeps the reset counter to genuine re-arms).
 //
 //wfq:noalloc
 func (q *Ring) resetThreshold() {
 	if q.threshold.Load() != q.thresh3 {
 		q.threshold.Store(q.thresh3)
+		q.opts.Metrics.Inc(metrics.ThresholdReset)
 	}
 }
+
+// Metrics returns the sink this ring records into (nil when disabled).
+//
+//wfq:noalloc
+func (q *Ring) Metrics() *metrics.Sink { return q.opts.Metrics }
 
 // tryEnqueue is the fast path (try_enq, Fig. 3, with the Enq bit set in
 // one step and the Note field preserved). On failure it returns the
@@ -400,6 +412,7 @@ func (h *Handle) Enqueue(index uint64) {
 		ticket = t
 	}
 	// Slow path: publish a help request and run it ourselves.
+	q.opts.Metrics.Inc(metrics.EnqSlowPath)
 	seq := r.seq1.Load()
 	r.localTail.Store(ticket)
 	r.initTail.Store(ticket)
@@ -435,6 +448,7 @@ func (h *Handle) Dequeue() (index uint64, ok bool) {
 		ticket = t
 	}
 	// Slow path.
+	q.opts.Metrics.Inc(metrics.DeqSlowPath)
 	seq := r.seq1.Load()
 	r.localHead.Store(ticket)
 	r.initHead.Store(ticket)
@@ -486,9 +500,11 @@ func (h *Handle) EnqueueBatch(indices []uint64) {
 	q, r := h.q, h.r
 	t0 := globalCnt(q.tail.Add(uint64(k)))
 	thReset := false
+	met := q.opts.Metrics // hoisted: loop-invariant (//wfq:stable)
 	for j, idx := range indices {
 		q.helpThreads(r) // keep the helping cadence of k scalar ops
 		if !q.enqueueAt(t0+uint64(j), idx) {
+			met.Inc(metrics.BatchDegrade)
 			for _, v := range indices[j:] {
 				h.Enqueue(v)
 			}
@@ -556,6 +572,7 @@ func (h *Handle) DequeueBatch(out []uint64) int {
 		}
 	}
 	if filled == 0 && sawRetry {
+		q.opts.Metrics.Inc(metrics.BatchDegrade)
 		// Every reserved ticket hit a transient state (e.g. the run of
 		// tickets abandoned by a partially-degraded EnqueueBatch) while
 		// values may sit at later tickets. The scalar Dequeue (patience

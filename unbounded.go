@@ -143,6 +143,11 @@ func (q *UnboundedQueue[T]) Rings() int { return q.q.Rings() }
 // and shrinks back to at most (1 + pool) rings after a drain.
 func (q *UnboundedQueue[T]) Footprint() uint64 { return q.q.Footprint() }
 
+// Stats snapshots the metrics sink shared by the queue and its linked
+// rings. The zero snapshot is returned when the queue was built
+// without WithMetrics.
+func (q *UnboundedQueue[T]) Stats() MetricsSnapshot { return q.q.Metrics().Snapshot() }
+
 // Enqueue appends v. It always succeeds — the queue grows instead of
 // reporting full. An UnboundedQueue built by NewUnbounded cannot fail
 // here; the implementation panics if an internal invariant (ring

@@ -46,6 +46,7 @@ import (
 	"fmt"
 
 	"repro/internal/atomicx"
+	"repro/internal/metrics"
 	"repro/internal/ringcore"
 	"repro/internal/scq"
 	"repro/internal/sharded"
@@ -65,6 +66,7 @@ type options struct {
 	ringKind        RingKind
 	ringCap         uint64
 	unboundedShards bool
+	metrics         *metrics.Sink
 }
 
 // core translates the accumulated options into the shared ring-core
@@ -75,6 +77,7 @@ func (o options) core() *ringcore.Options {
 		EnqPatience: o.enqPatience,
 		DeqPatience: o.deqPatience,
 		HelpDelay:   o.helpDelay,
+		Metrics:     o.metrics,
 	}
 }
 
@@ -97,6 +100,33 @@ func WithPatience(enqueue, dequeue int) Option {
 // stalled peers (HELP_DELAY).
 func WithHelpDelay(n int) Option {
 	return func(o *options) { o.helpDelay = n }
+}
+
+// MetricsSink accumulates event counters (slow-path entries, threshold
+// resets, batch degradations, steals, ring turnover, park/wake
+// traffic, close drains) and a parked-duration histogram for one queue
+// or one composition. Recording is allocation-free and sharded across
+// cache-line-padded per-CPU stripes; a nil *MetricsSink is the
+// disabled mode, costing the hot paths a single predictable branch.
+type MetricsSink = metrics.Sink
+
+// MetricsSnapshot is a point-in-time copy of a MetricsSink: one total
+// per event plus the parked-duration histogram (with Quantile, Mean
+// and Max). Snapshots are plain values — mergeable and comparable.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsSink returns an enabled sink to pass to WithMetrics. Share
+// one sink across queues to aggregate them, or give each its own.
+func NewMetricsSink() *MetricsSink { return metrics.New() }
+
+// WithMetrics makes the queue record events and parked durations into
+// m. The same sink is threaded through every layer of a composition
+// (shards, linked rings, the Chan's park points), so the composition's
+// Stats aggregate in one place. A nil m (or omitting the option)
+// disables recording; the hot paths then pay one predictable branch
+// per potential event, measured at well under a nanosecond.
+func WithMetrics(m *MetricsSink) Option {
+	return func(o *options) { o.metrics = m }
 }
 
 // WithShards sets the shard count for NewSharded (default 4). The
@@ -192,6 +222,10 @@ func (q *Queue[T]) Cap() uint64 { return q.q.Cap() }
 // never allocates afterwards.
 func (q *Queue[T]) Footprint() uint64 { return q.q.Footprint() }
 
+// Stats snapshots the queue's metrics sink. The zero snapshot is
+// returned when the queue was built without WithMetrics.
+func (q *Queue[T]) Stats() MetricsSnapshot { return q.q.Metrics().Snapshot() }
+
 // Enqueue appends v; it returns false when the queue is full. The
 // operation completes in a bounded number of steps.
 //
@@ -265,6 +299,10 @@ func (r *Ring) Handle() (*RingHandle, error) {
 // Cap returns the ring capacity.
 func (r *Ring) Cap() uint64 { return r.r.Cap() }
 
+// Stats snapshots the ring's metrics sink. The zero snapshot is
+// returned when the ring was built without WithMetrics.
+func (r *Ring) Stats() MetricsSnapshot { return r.r.Metrics().Snapshot() }
+
 // Enqueue inserts an index in [0, Cap()). The ring never reports full:
 // the caller must keep at most Cap() indices live (as a free-list
 // naturally does).
@@ -294,6 +332,7 @@ func NewLockFree[T any](capacity uint64, opts ...Option) (*LockFreeQueue[T], err
 	if err != nil {
 		return nil, err
 	}
+	q.SetMetrics(o.metrics)
 	return &LockFreeQueue[T]{q: q}, nil
 }
 
@@ -324,6 +363,10 @@ func (q *LockFreeQueue[T]) Cap() uint64 { return q.q.Cap() }
 // Footprint returns the bytes allocated at construction; the queue
 // never allocates afterwards.
 func (q *LockFreeQueue[T]) Footprint() uint64 { return q.q.Footprint() }
+
+// Stats snapshots the queue's metrics sink. The zero snapshot is
+// returned when the queue was built without WithMetrics.
+func (q *LockFreeQueue[T]) Stats() MetricsSnapshot { return q.q.Metrics().Snapshot() }
 
 // LockFreeHandle is a goroutine's capability to use a LockFreeQueue,
 // carrying the per-handle scratch the native batch reservation uses.
@@ -437,6 +480,11 @@ func (q *ShardedQueue[T]) Unbounded() bool { return q.q.Unbounded() }
 // for bounded shards, a live grow-and-shrink figure with
 // WithUnboundedShards.
 func (q *ShardedQueue[T]) Footprint() uint64 { return q.q.Footprint() }
+
+// Stats snapshots the metrics sink shared by the queue and every
+// shard. The zero snapshot is returned when the queue was built
+// without WithMetrics.
+func (q *ShardedQueue[T]) Stats() MetricsSnapshot { return q.q.Metrics().Snapshot() }
 
 // Enqueue appends v to the handle's home shard; false means that
 // shard is full (never the case with unbounded shards).
