@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -141,7 +142,14 @@ func TestChanRecvCtxCancelOnEmpty(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
-		time.Sleep(10 * time.Millisecond)
+		// Cancel once the receiver has verifiably parked (with a
+		// bounded fallback — RecvCtx must return Canceled either way),
+		// so the cancel-while-parked path is what actually runs rather
+		// than whatever a fixed sleep happens to race against.
+		deadline := time.Now().Add(5 * time.Second)
+		for c.notEmpty.Waiters() == 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
 		cancel()
 	}()
 	if _, err := h.RecvCtx(ctx); !errors.Is(err, context.Canceled) {
@@ -277,6 +285,7 @@ func TestChanCloseCancelRace(t *testing.T) {
 				mu       sync.Mutex
 				sent     = map[uint64]int{}
 				received = map[uint64]int{}
+				sends    atomic.Uint64
 			)
 			for s := 0; s < senders; s++ {
 				h, err := c.Handle()
@@ -307,6 +316,7 @@ func TestChanCloseCancelRace(t *testing.T) {
 						switch {
 						case err == nil:
 							ok = append(ok, v)
+							sends.Add(1)
 						case errors.Is(err, ErrClosed):
 							return
 						case errors.Is(err, context.DeadlineExceeded):
@@ -361,7 +371,14 @@ func TestChanCloseCancelRace(t *testing.T) {
 					}
 				}(h, r >= 2)
 			}
-			time.Sleep(3 * time.Millisecond)
+			// Close only after the mixed workload has verifiably moved
+			// values through the queue (bounded fallback). A fixed
+			// wall-clock sleep can close the queue before the race it
+			// exists to exercise even starts on a loaded runner.
+			deadline := time.Now().Add(5 * time.Second)
+			for sends.Load() < 1000 && time.Now().Before(deadline) {
+				time.Sleep(50 * time.Microsecond)
+			}
 			if err := c.Close(); err != nil {
 				t.Fatal(err)
 			}

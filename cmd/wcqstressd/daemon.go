@@ -189,6 +189,10 @@ func (d *daemon) snapshotFile(opsDelta uint64, dt time.Duration) benchfmt.File {
 		MopsMin:     mops,
 		MopsMean:    mops,
 		FootprintMB: float64(d.q.Footprint()) / (1 << 20),
+		// The cumulative sampled op-latency ladder, in the same
+		// latency_us fields the bench's open-loop points carry, so one
+		// reader plots both.
+		Latency: benchfmt.NewLatencyUS(d.latency()),
 	}}
 	return f
 }

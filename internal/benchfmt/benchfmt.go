@@ -14,6 +14,8 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Schema is the format identifier stamped into every File.
@@ -47,7 +49,72 @@ type Point struct {
 	// real summed allocation of the sharded compositions and the
 	// post-run retention of the unbounded queues (see harness.Point).
 	FootprintMB float64 `json:"footprint_mb,omitempty"`
-	Err         string  `json:"error,omitempty"`
+	// Load is the offered-load fraction of the queue's calibrated
+	// closed-loop capacity (open-loop figure l1 points only; 0
+	// otherwise). 1.0 is the saturation knee by construction.
+	Load float64 `json:"load,omitempty"`
+	// OfferedMops is the open-loop arrival rate in millions of
+	// transfers per second that Load resolved to on this host.
+	OfferedMops float64 `json:"offered_mops,omitempty"`
+	// Latency carries the coordinated-omission-safe end-to-end latency
+	// percentiles of an open-loop point (enqueue intended-time to
+	// dequeue), in microseconds. Nil on closed-loop points.
+	Latency *LatencyUS `json:"latency_us,omitempty"`
+	Err     string     `json:"error,omitempty"`
+}
+
+// LatencyUS is the fixed percentile ladder every latency-carrying
+// point reports, in microseconds. Values come from a log-bucketed
+// metrics.Histogram, so each percentile carries its documented <=1/16
+// relative error and Max is exact.
+type LatencyUS struct {
+	// P50, P90, P99 and P999 are the 50th/90th/99th/99.9th latency
+	// percentiles in microseconds.
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	// Max is the largest observed latency in microseconds (exact).
+	Max float64 `json:"max"`
+	// Count is the number of recorded operations behind the ladder.
+	Count uint64 `json:"count"`
+}
+
+// NewLatencyUS flattens a nanosecond histogram snapshot into the
+// wcqbench/v1 microsecond percentile ladder; an empty snapshot yields
+// nil, so callers can assign the result straight into Point.Latency.
+func NewLatencyUS(h metrics.HistogramSnapshot) *LatencyUS {
+	if h.Count == 0 {
+		return nil
+	}
+	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+	return &LatencyUS{
+		P50:   us(h.Quantile(0.50)),
+		P90:   us(h.Quantile(0.90)),
+		P99:   us(h.Quantile(0.99)),
+		P999:  us(h.Quantile(0.999)),
+		Max:   us(h.Max),
+		Count: h.Count,
+	}
+}
+
+// validate checks the ladder invariants: a non-empty sample and
+// percentiles that are nonnegative and monotone up to Max.
+func (l *LatencyUS) validate() error {
+	if l.Count == 0 {
+		return fmt.Errorf("latency ladder with zero count")
+	}
+	prev, prevName := 0.0, "0"
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"p50", l.P50}, {"p90", l.P90}, {"p99", l.P99}, {"p999", l.P999}, {"max", l.Max}} {
+		if p.v < prev {
+			return fmt.Errorf("latency %s %f < %s %f (percentiles not monotone)", p.name, p.v, prevName, prev)
+		}
+		prev, prevName = p.v, p.name
+	}
+	return nil
 }
 
 // New returns a File with the run header stamped (schema, wall time,
@@ -94,6 +161,15 @@ func (f *File) Validate() error {
 		if p.MopsMean < 0 || p.MopsMin < 0 || p.MopsMin > p.MopsMean {
 			return fmt.Errorf("benchfmt: point %d (%s/%s) has inconsistent throughput (min %f, mean %f)",
 				i, p.Figure, p.Queue, p.MopsMin, p.MopsMean)
+		}
+		if p.Load < 0 || p.OfferedMops < 0 {
+			return fmt.Errorf("benchfmt: point %d (%s/%s) has negative offered load (load %f, offered %f)",
+				i, p.Figure, p.Queue, p.Load, p.OfferedMops)
+		}
+		if p.Latency != nil {
+			if err := p.Latency.validate(); err != nil {
+				return fmt.Errorf("benchfmt: point %d (%s/%s): %w", i, p.Figure, p.Queue, err)
+			}
 		}
 	}
 	return nil

@@ -12,6 +12,9 @@ func validFile() File {
 	f.Points = []Point{
 		{Figure: "p2", Queue: "wCQ", Threads: 4, Batch: 32, MopsMin: 1.5, MopsMean: 2.0},
 		{Figure: "p2", Queue: "LCRQ", Threads: 4, Err: "not available without CAS2"},
+		{Figure: "l1", Queue: "Chan", Threads: 4, Load: 0.5, OfferedMops: 1.2,
+			MopsMin: 2.4, MopsMean: 2.4,
+			Latency: &LatencyUS{P50: 2.1, P90: 4.5, P99: 11.0, P999: 40.2, Max: 210.5, Count: 100000}},
 	}
 	return f
 }
@@ -34,6 +37,14 @@ func TestValidateRejections(t *testing.T) {
 		{"unnamed point", func(f *File) { f.Points[0].Queue = "" }},
 		{"zero threads", func(f *File) { f.Points[0].Threads = 0 }},
 		{"min above mean", func(f *File) { f.Points[0].MopsMin = 3 }},
+		{"negative load", func(f *File) { f.Points[2].Load = -0.5 }},
+		{"negative offered", func(f *File) { f.Points[2].OfferedMops = -1 }},
+		{"latency ladder not monotone", func(f *File) { f.Points[2].Latency.P99 = 1.0 }},
+		{"latency max below p999", func(f *File) { f.Points[2].Latency.Max = 0 }},
+		{"latency without samples", func(f *File) { f.Points[2].Latency.Count = 0 }},
+		{"negative latency", func(f *File) {
+			f.Points[2].Latency = &LatencyUS{P50: -1, P90: 1, P99: 2, P999: 3, Max: 4, Count: 1}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,208 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// randFile generates a structurally valid wcqbench/v1 File from a
+// seeded PRNG: the property tests sweep the record space Append can
+// actually produce (closed-loop, batch, burst, errored and open-loop
+// latency points) far wider than the handwritten fixtures.
+func randFile(rng *rand.Rand) File {
+	f := New(rng.Intn(1_000_000)+1, rng.Intn(10)+1)
+	figures := []string{"10a", "11b", "p2", "u1", "b1", "l1", "live"}
+	queues := []string{"wCQ", "SCQ", "Chan", "ChanSharded", "UWCQ"}
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		p := Point{
+			Figure:  figures[rng.Intn(len(figures))],
+			Queue:   queues[rng.Intn(len(queues))],
+			Threads: rng.Intn(72) + 1,
+		}
+		switch rng.Intn(4) {
+		case 0: // errored point: measurements are exempt
+			p.Err = "not available"
+		case 1: // batch/burst closed-loop point
+			p.Batch = rng.Intn(128)
+			p.Burst = rng.Intn(1 << 18)
+			p.MopsMean = rng.Float64() * 40
+			p.MopsMin = p.MopsMean * rng.Float64()
+			p.MemoryMB = rng.Float64() * 16
+			p.FootprintMB = rng.Float64() * 16
+		case 2: // open-loop latency point, ladder built the way the
+			// harness builds it: through a real histogram, so the
+			// percentile invariants hold by construction
+			h := metrics.NewHistogram()
+			for j, m := 0, rng.Intn(1000)+1; j < m; j++ {
+				h.Record(uint64(rng.Int63n(1 << 30)))
+			}
+			p.Load = rng.Float64() * 1.2
+			p.OfferedMops = rng.Float64() * 8
+			p.MopsMean = rng.Float64() * 8
+			p.MopsMin = p.MopsMean
+			p.Latency = NewLatencyUS(h.Snapshot())
+		case 3: // plain throughput point
+			p.MopsMean = rng.Float64() * 40
+			p.MopsMin = p.MopsMean
+		}
+		f.Points = append(f.Points, p)
+	}
+	return f
+}
+
+// TestAppendValidateRoundTripProperty: every record Append writes must
+// come back out of ValidateFile — across a wide sweep of generated
+// files, byte-for-byte through the real JSONL path on disk.
+func TestAppendValidateRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	path := filepath.Join(t.TempDir(), "prop.jsonl")
+	const rounds = 64
+	for i := 0; i < rounds; i++ {
+		if err := Append(path, randFile(rng)); err != nil {
+			t.Fatalf("round %d: Append refused a generated-valid file: %v", i, err)
+		}
+	}
+	n, err := ValidateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != rounds {
+		t.Fatalf("validated %d records, want %d", n, rounds)
+	}
+}
+
+// TestValidateStreamToleratesUnknownFields: forward compatibility —
+// a reader at schema v1 must accept records that carry fields added
+// later (exactly how the latency_us fields themselves arrived), both
+// at the top level and inside points.
+func TestValidateStreamToleratesUnknownFields(t *testing.T) {
+	f := validFile()
+	raw, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSuffix(string(raw), "}") +
+		`,"future_header_field":{"a":1}}`
+	line = strings.Replace(line,
+		`"figure":"p2"`, `"figure":"p2","future_point_field":[1,2,3]`, 1)
+	n, err := ValidateStream(strings.NewReader(line + "\n"))
+	if err != nil {
+		t.Fatalf("unknown fields rejected: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("validated %d records, want 1", n)
+	}
+}
+
+// TestValidateStreamRejectsMalformedLines: truncated JSON, bare
+// garbage, a valid JSON value of the wrong shape, and a schema-less
+// object must all fail with a record-numbered error, not pass or
+// panic.
+func TestValidateStreamRejectsMalformedLines(t *testing.T) {
+	good, err := json.Marshal(validFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, line := range map[string]string{
+		"truncated":    string(good[:len(good)/2]),
+		"garbage":      "][;not json at all",
+		"wrong shape":  `"just a string"`,
+		"empty object": `{}`,
+		"null":         `null`,
+	} {
+		in := string(good) + "\n" + line + "\n"
+		n, err := ValidateStream(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: malformed second line validated", name)
+			continue
+		}
+		if n != 1 || !strings.Contains(err.Error(), "record 2") {
+			t.Errorf("%s: error should implicate record 2 after 1 good record, got n=%d err=%v", name, n, err)
+		}
+	}
+}
+
+// TestNewLatencyUS pins the snapshot flattening: nanoseconds become
+// microseconds, the ladder is monotone, and an empty snapshot yields
+// nil rather than a zero ladder that would fail validation.
+func TestNewLatencyUS(t *testing.T) {
+	if l := NewLatencyUS(metrics.HistogramSnapshot{}); l != nil {
+		t.Fatalf("empty snapshot produced a ladder: %+v", l)
+	}
+	h := metrics.NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(2_000) // 2µs
+	}
+	h.Record(3_000_000) // one 3ms outlier
+	l := NewLatencyUS(h.Snapshot())
+	if l == nil || l.Count != 1001 {
+		t.Fatalf("ladder %+v, want count 1001", l)
+	}
+	if l.Max != 3000 {
+		t.Fatalf("Max = %f µs, want exact 3000", l.Max)
+	}
+	if l.P50 < 1 || l.P50 > 3 {
+		t.Fatalf("P50 = %f µs, want ~2 (within 1/16 relative error)", l.P50)
+	}
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzValidateStream throws arbitrary bytes at the JSONL reader: it
+// must never panic, must never accept a line json.Unmarshal cannot
+// round-trip, and on files it reports valid, a re-marshal of each
+// parsed record must validate again (idempotence).
+func FuzzValidateStream(f *testing.F) {
+	good, err := json.Marshal(validFile())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(good) + "\n")
+	f.Add(string(good) + "\n" + string(good) + "\n")
+	f.Add("")
+	f.Add("\n\n")
+	f.Add(`{"schema":"wcqbench/v1"}`)
+	f.Add("{not json}\n")
+	f.Add(`{"schema":"wcqbench/v1","time":"` + time.Now().Format(time.RFC3339) +
+		`","gomaxprocs":1,"num_cpu":1,"ops":1,"reps":1,"points":[{"figure":"l1","queue":"Chan","threads":4,` +
+		`"latency_us":{"p50":1,"p90":2,"p99":3,"p999":4,"max":5,"count":9}}]}` + "\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		n, err := ValidateStream(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// The stream validated: every non-blank line must re-validate
+		// after a parse/re-marshal round trip.
+		count := 0
+		for i, line := range strings.Split(in, "\n") {
+			if len(line) == 0 {
+				continue
+			}
+			var rec File
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("line %d: ValidateStream passed but Unmarshal fails: %v", i+1, err)
+			}
+			if err := rec.Validate(); err != nil {
+				t.Fatalf("line %d: ValidateStream passed but Validate fails on the parsed record: %v", i+1, err)
+			}
+			re, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatalf("line %d: re-marshal: %v", i+1, err)
+			}
+			if _, err := ValidateStream(strings.NewReader(string(re) + "\n")); err != nil {
+				t.Fatalf("line %d: re-marshaled record no longer validates: %v", i+1, err)
+			}
+			count++
+		}
+		if count != n {
+			t.Fatalf("ValidateStream counted %d records, re-scan found %d", n, count)
+		}
+	})
+}

@@ -10,6 +10,8 @@ package clihelper
 import (
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/atomicx"
 	"repro/internal/metrics"
@@ -105,6 +107,28 @@ func (f *Flags) CoreOptions() *ringcore.Options {
 		return nil
 	}
 	return &ringcore.Options{EnqPatience: 1, DeqPatience: 1, HelpDelay: 1}
+}
+
+// ParseFloatList parses a comma-separated list of positive floats —
+// the -loads flag format ("0.25,0.5,0.9,1.1"). An empty string yields
+// nil (use the figure's default sweep).
+func ParseFloatList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("clihelper: bad float %q in list: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("clihelper: list values must be positive, got %g", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // QueueNames expands a -queue selection ("all" or a concrete name)

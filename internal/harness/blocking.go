@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -128,6 +129,12 @@ func WakeupLatency(name string, cfg queues.Config, samples int) (metrics.Histogr
 	if cfg.MaxThreads < 3 {
 		cfg.MaxThreads = 3
 	}
+	if cfg.Metrics == nil {
+		// The park counter below is how each Send waits for the
+		// consumer to actually be parked, so the measurement needs a
+		// sink even when the caller didn't ask for one.
+		cfg.Metrics = metrics.New()
+	}
 	q, err := queues.New(name, cfg)
 	if err != nil {
 		return zero, err
@@ -162,11 +169,27 @@ func WakeupLatency(name string, cfg queues.Config, samples int) (metrics.Histogr
 			nanos <- uint64(time.Now().UnixNano() - int64(v))
 		}
 	}()
+	// Each Send must land while the consumer is parked — that is the
+	// latency being measured. Instead of sleeping a fixed interval and
+	// hoping (flaky on a loaded host: too short measures a spin-path
+	// wake, too long wastes wall clock), watch the queue's own park
+	// counter: it increments exactly when the consumer registers on the
+	// empty-side park point, so "count advanced past the last sample's
+	// baseline" is the event "consumer is parked again". The deadline
+	// bounds a pathological scheduler stall; queues that somehow lack a
+	// Statser fall back to the old fixed settle sleep.
+	statser, hasStats := q.(queueapi.Statser)
+	lastParks := uint64(0)
 	for i := 0; i < samples; i++ {
-		// Give the consumer time to finish the previous sample and
-		// park again; the measurement only needs Send to happen while
-		// the consumer is (usually) parked, and parking is ~µs.
-		time.Sleep(200 * time.Microsecond)
+		if hasStats {
+			deadline := time.Now().Add(100 * time.Millisecond)
+			for statser.Stats().Counts[metrics.Park] <= lastParks && time.Now().Before(deadline) {
+				runtime.Gosched()
+			}
+			lastParks = statser.Stats().Counts[metrics.Park]
+		} else {
+			time.Sleep(200 * time.Microsecond)
+		}
 		if serr := sender.Send(uint64(time.Now().UnixNano())); serr != nil {
 			return zero, serr
 		}

@@ -34,6 +34,15 @@ type Figure struct {
 	// path. Mops stays per-element, so the column reads directly as
 	// the amortization win.
 	Batches []int
+	// Loads makes this an open-loop latency figure (l1): the sweep axis
+	// is offered load as a fraction of each queue's calibrated
+	// closed-loop capacity, at a fixed thread count (Threads[0]).
+	// Points carry the CO-safe latency ladder; the knee sits at 1.0 by
+	// construction, so the same fractions are comparable across queues
+	// and hosts of any speed.
+	Loads []float64
+	// Arrival is the inter-arrival process for open-loop figures.
+	Arrival Arrival
 }
 
 // Thread sweeps from the paper: x86 peaks at one 18-core socket then
@@ -67,6 +76,13 @@ var (
 	// (batch 1) to far past the amortization knee.
 	batchQueues = []string{"wCQ", "SCQ", "Sharded", "UWCQ"}
 	batchSizes  = []int{1, 8, 32, 128}
+	// openLoopQueues and loadFractions shape figure l1: every blocking
+	// facade (their parked consumers are what open-loop latency is
+	// about) plus the bare wCQ and SCQ rings on the nonblocking engine
+	// path, swept from a quarter of calibrated capacity to just past
+	// the saturation knee at 1.0.
+	openLoopQueues = append(queues.BlockingQueues(), "wCQ", "SCQ")
+	loadFractions  = []float64{0.25, 0.5, 0.75, 0.9, 1.1}
 )
 
 // Figures returns every figure of the evaluation in paper order.
@@ -110,6 +126,13 @@ func Figures() []Figure {
 		// Head/Tail F&A per batch instead of one per element.
 		{ID: "p2", Title: "Native batch reservation: per-element throughput vs batch size (Mops/s)", Workload: Pairwise,
 			Threads: []int{4}, Mode: atomicx.NativeFAA, Queues: batchQueues, Batches: batchSizes},
+		// Open-loop latency vs offered load: Poisson arrivals at a
+		// fraction of each queue's calibrated capacity, latency charged
+		// from intended send time (coordinated-omission-safe). The p99
+		// inflection as load crosses 1.0 is the saturation knee.
+		{ID: "l1", Title: "Open-loop latency vs offered load (µs, CO-safe)", Workload: Pairwise,
+			Threads: []int{4}, Mode: atomicx.NativeFAA, Queues: openLoopQueues,
+			Loads: loadFractions, Arrival: Poisson},
 	}
 }
 
@@ -143,6 +166,12 @@ type RunOpts struct {
 	// gets a fresh sink; the ring-based queues record into it, the
 	// external baselines ignore it.
 	Metrics bool
+	// Loads overrides an open-loop figure's load-fraction sweep
+	// (cmd/wcqbench -loads).
+	Loads []float64
+	// Arrival overrides an open-loop figure's inter-arrival process
+	// when not DefaultArrival (cmd/wcqbench -arrival).
+	Arrival Arrival
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -170,6 +199,9 @@ func (f Figure) Run(opts RunOpts) []Point {
 	}
 	if len(f.Batches) > 0 {
 		return f.runBatches(opts, qs)
+	}
+	if len(f.Loads) > 0 {
+		return f.runLoads(opts, qs)
 	}
 	var pts []Point
 	for _, name := range qs {
@@ -310,6 +342,119 @@ func (f Figure) runBatches(opts RunOpts, qs []string) []Point {
 	return pts
 }
 
+// loadSweep resolves an open-loop figure's effective sweep after
+// RunOpts overrides. Run and Render share it so the rendered rows
+// always match the points actually measured.
+func (f Figure) loadSweep(opts RunOpts) ([]float64, Arrival) {
+	loads := f.Loads
+	if len(opts.Loads) > 0 {
+		loads = opts.Loads
+	}
+	arrival := f.Arrival
+	if opts.Arrival != DefaultArrival {
+		arrival = opts.Arrival
+	}
+	if arrival == DefaultArrival {
+		arrival = Poisson
+	}
+	return loads, arrival
+}
+
+// runLoads executes an open-loop figure: calibrate each queue's
+// closed-loop capacity once, then sweep offered load as a fraction of
+// it. Reps merge into one latency histogram per point (tails want
+// samples, not averaging) while achieved throughput is summarized
+// across reps like every other figure.
+func (f Figure) runLoads(opts RunOpts, qs []string) []Point {
+	threads := f.fixedThreads(opts)
+	producers, consumers := OpenLoopSplit(threads)
+	loads, arrival := f.loadSweep(opts)
+	var pts []Point
+	for _, name := range qs {
+		cfg := queues.Config{
+			Capacity:   1 << 16,
+			MaxThreads: threads + 2,
+			Mode:       f.Mode,
+			Shards:     opts.Shards,
+			Ring:       opts.Ring,
+			Core:       opts.Core,
+		}
+		if opts.Capacity > 0 {
+			cfg.Capacity = opts.Capacity
+		}
+		if opts.Emulate {
+			cfg.Mode = atomicx.EmulatedFAA
+		}
+		if opts.Metrics {
+			cfg.Metrics = metrics.New()
+		}
+		blocking := queueIsBlocking(name, cfg)
+		capacity, err := CalibrateCapacity(name, cfg, threads, opts.Ops, blocking)
+		for _, load := range loads {
+			pt := Point{Queue: name, Threads: threads, Load: load}
+			if err != nil {
+				pt.Err = err
+				pts = append(pts, pt)
+				continue
+			}
+			achieved := make([]float64, 0, opts.Reps)
+			for rep := 0; rep < opts.Reps; rep++ {
+				r, rerr := RunOpenLoop(name, cfg, OpenLoopOpts{
+					Producers: producers,
+					Consumers: consumers,
+					Ops:       opts.Ops,
+					Rate:      load * capacity,
+					Arrival:   arrival,
+				})
+				if rerr != nil {
+					pt.Err = rerr
+					break
+				}
+				pt.OfferedMops = r.OfferedMops
+				pt.Latency.Merge(r.Latency)
+				achieved = append(achieved, r.AchievedMops)
+				if r.FootprintMB > pt.FootprintMB {
+					pt.FootprintMB = r.FootprintMB
+				}
+			}
+			if pt.Err == nil {
+				pt.Mops = stats.Summarize(achieved)
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts
+}
+
+// FormatLoadPoints renders an open-loop figure: one row per load
+// fraction, two columns per queue — the p99 latency in microseconds
+// (the knee axis) and the achieved transfer rate that goes flat once
+// the queue saturates.
+func FormatLoadPoints(pts []Point, loads []float64, queueNames []string) string {
+	byKey := map[string]Point{}
+	for _, p := range pts {
+		byKey[fmt.Sprintf("%s/%.3f", p.Queue, p.Load)] = p
+	}
+	out := "load"
+	for _, q := range queueNames {
+		out += fmt.Sprintf("\t%s p99(µs)\t%s Mxfer/s", q, q)
+	}
+	out += "\n"
+	for _, load := range loads {
+		out += fmt.Sprintf("%.2f", load)
+		for _, q := range queueNames {
+			p, ok := byKey[fmt.Sprintf("%s/%.3f", q, load)]
+			if !ok || p.Err != nil || p.Latency.Count == 0 {
+				out += "\tn/a\tn/a"
+				continue
+			}
+			out += fmt.Sprintf("\t%.1f\t%.3f", float64(p.Latency.Quantile(0.99))/1e3, p.Mops.Mean)
+		}
+		out += "\n"
+	}
+	return out
+}
+
 // FormatBatchPoints renders a batch figure's results: one row per
 // batch size, one throughput column per queue — the per-element
 // amortization curve of the native reservation path.
@@ -362,6 +507,14 @@ func (f Figure) Render(w io.Writer, pts []Point, opts RunOpts) {
 	if len(f.Batches) > 0 {
 		fmt.Fprintf(w, "Figure %s: %s (%d threads, %s workload, %s)\n", f.ID, f.Title, f.fixedThreads(opts), f.Workload, f.Mode)
 		io.WriteString(w, FormatBatchPoints(pts, f.Batches, qs))
+		return
+	}
+	if len(f.Loads) > 0 {
+		loads, arrival := f.loadSweep(opts)
+		producers, consumers := OpenLoopSplit(f.fixedThreads(opts))
+		fmt.Fprintf(w, "Figure %s: %s (%d producers / %d consumers, %s arrivals, %s)\n",
+			f.ID, f.Title, producers, consumers, arrival, f.Mode)
+		io.WriteString(w, FormatLoadPoints(pts, loads, qs))
 		return
 	}
 	fmt.Fprintf(w, "Figure %s: %s (%s workload, %s)\n", f.ID, f.Title, f.Workload, f.Mode)

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/queueapi"
 	"repro/internal/queues"
 	"repro/internal/stats"
@@ -85,7 +86,18 @@ type Point struct {
 	// retention for the unbounded ones. Unlike MemoryMB it needs no
 	// heap sampling, so every point carries it.
 	FootprintMB float64
-	Err         error // non-nil when the queue is unavailable (e.g. LCRQ under emulation)
+	// Load is the offered-load fraction of the queue's calibrated
+	// closed-loop capacity (open-loop figure l1 only; 0 otherwise).
+	Load float64
+	// OfferedMops is the open-loop arrival rate Load resolved to, in
+	// millions of transfers per second (l1 only).
+	OfferedMops float64
+	// Latency is the coordinated-omission-safe end-to-end latency
+	// distribution in nanoseconds, merged across reps (l1 only; zero
+	// Count otherwise). For l1, Mops summarizes the ACHIEVED transfer
+	// rate in Mtransfers/s rather than the closed-loop op rate.
+	Latency metrics.HistogramSnapshot
+	Err     error // non-nil when the queue is unavailable (e.g. LCRQ under emulation)
 }
 
 // RunPoint measures one queue at one thread count.

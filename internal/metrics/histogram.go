@@ -14,6 +14,7 @@ package metrics
 import (
 	"math/bits"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -79,6 +80,39 @@ func (h *Histogram) Record(v uint64) {
 			return
 		}
 	}
+}
+
+// RecordSince records the nanoseconds elapsed since t — the one-line
+// form of the closed-loop timing pattern (stamp, operate, record).
+// No-op on a nil receiver.
+//
+//wfq:noalloc
+func (h *Histogram) RecordSince(t time.Time) {
+	if h == nil {
+		return
+	}
+	h.Record(uint64(time.Since(t)))
+}
+
+// RecordElapsed records a duration, clamping negatives to zero. This
+// is the open-loop (coordinated-omission-safe) recording primitive:
+// callers pass completion-time minus INTENDED start time, which the
+// schedule fixes before the operation runs, so an operation delayed
+// behind a backlog is charged its whole queueing delay instead of
+// restarting the clock when it finally gets service. The clamp only
+// matters for an operation completing ahead of a skewed schedule
+// stamp; real queueing delay is always nonnegative. No-op on a nil
+// receiver.
+//
+//wfq:noalloc
+func (h *Histogram) RecordElapsed(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
 }
 
 // Snapshot copies the current state. Not an atomic cut: observations

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 )
 
 // refQuantile is the nearest-rank quantile on an exact sorted sample,
@@ -193,8 +194,171 @@ func TestHistogramConcurrentRecord(t *testing.T) {
 func TestHistogramNilAndEmpty(t *testing.T) {
 	var h *Histogram
 	h.Record(42) // must not panic
+	h.RecordSince(time.Now())
+	h.RecordElapsed(time.Second)
 	s := h.Snapshot()
 	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
 		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+}
+
+// quantileLadder is the fixed percentile set the open-loop harness and
+// every exporter report, in ascending order.
+var quantileLadder = []float64{0.5, 0.9, 0.99, 0.999, 1}
+
+// checkMonotone asserts p50 <= p90 <= p99 <= p99.9 <= max on a
+// snapshot — the invariant every latency report leans on.
+func checkMonotone(t *testing.T, label string, s HistogramSnapshot) {
+	t.Helper()
+	prev := uint64(0)
+	for _, q := range quantileLadder {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("%s: Quantile(%v) = %d < previous %d (quantiles not monotone)", label, q, v, prev)
+		}
+		prev = v
+	}
+	if s.Count > 0 && prev != s.Max {
+		t.Fatalf("%s: Quantile(1) = %d != Max %d", label, prev, s.Max)
+	}
+}
+
+// TestHistogramQuantileMonotoneAdversarial drives the quantile ladder
+// over the distributions most likely to break a bucketed nearest-rank
+// implementation: bimodal with the mass split across distant octaves
+// (the open-loop saturation shape — a fast mode and a stalled tail),
+// a single sample, every sample identical at a bucket edge, and a
+// uint64-max spike.
+func TestHistogramQuantileMonotoneAdversarial(t *testing.T) {
+	cases := map[string]func(h *Histogram){
+		"bimodal": func(h *Histogram) {
+			for i := 0; i < 9000; i++ {
+				h.Record(1_000) // fast mode: ~1µs
+			}
+			for i := 0; i < 1000; i++ {
+				h.Record(500_000_000) // stalled tail: 500ms
+			}
+		},
+		"single-sample": func(h *Histogram) { h.Record(12345) },
+		"single-zero":   func(h *Histogram) { h.Record(0) },
+		"all-max": func(h *Histogram) {
+			for i := 0; i < 100; i++ {
+				h.Record(^uint64(0))
+			}
+		},
+		"all-identical-bucket-edge": func(h *Histogram) {
+			for i := 0; i < 1000; i++ {
+				h.Record(1 << 20)
+			}
+		},
+		"max-plus-noise": func(h *Histogram) {
+			h.Record(^uint64(0))
+			for i := 0; i < 1000; i++ {
+				h.Record(uint64(i))
+			}
+		},
+	}
+	for name, fill := range cases {
+		h := NewHistogram()
+		fill(h)
+		s := h.Snapshot()
+		checkMonotone(t, name, s)
+		// Upper quantiles are clamped to Max, never past it.
+		if s.Quantile(0.999) > s.Max {
+			t.Fatalf("%s: p99.9 %d exceeds Max %d", name, s.Quantile(0.999), s.Max)
+		}
+	}
+	// Degenerate shapes with exact expectations.
+	h := NewHistogram()
+	h.Record(12345)
+	if got := h.Snapshot().Quantile(0.5); got != 12345 {
+		t.Fatalf("single sample: p50 = %d, want the sample itself (clamped to Max)", got)
+	}
+	h = NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(^uint64(0))
+	}
+	// Mid-ladder quantiles report the bucket midpoint, so they sit
+	// below Max but within the documented 1/16 relative error; q >= 1
+	// short-circuits to the exact Max.
+	max := ^uint64(0)
+	for _, q := range quantileLadder {
+		got := h.Snapshot().Quantile(q)
+		if got > max {
+			t.Fatalf("all-max: Quantile(%v) = %d exceeds Max", q, got)
+		}
+		if rel := (float64(max) - float64(got)) / float64(max); rel > 1.0/16 {
+			t.Fatalf("all-max: Quantile(%v) = %d, relative error %f > 1/16", q, got, rel)
+		}
+	}
+	if got := h.Snapshot().Quantile(1); got != max {
+		t.Fatalf("all-max: Quantile(1) = %d, want exact Max", got)
+	}
+}
+
+// TestHistogramMergeThenQuantileEqualsRecordThenQuantile: recording a
+// stream into one histogram and recording its shards into separate
+// histograms merged afterwards must agree — exactly on bucket counts,
+// and within the documented 1/16 relative error on every quantile
+// (exact here, since identical buckets yield identical representatives;
+// the bound is asserted anyway to pin the documented contract). This
+// is the property the open-loop harness and the daemon lean on when
+// they merge per-consumer histograms at scrape time.
+func TestHistogramMergeThenQuantileEqualsRecordThenQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := NewHistogram()
+	const shards = 5
+	parts := make([]*Histogram, shards)
+	for i := range parts {
+		parts[i] = NewHistogram()
+	}
+	for i := 0; i < 50000; i++ {
+		// The open-loop recording shape: mostly a tight service-time
+		// mode, a heavy tail when the schedule falls behind.
+		v := uint64(rng.Int63n(4_000)) + 500
+		if rng.Intn(100) == 0 {
+			v = uint64(rng.Int63n(1_000_000_000))
+		}
+		whole.Record(v)
+		parts[rng.Intn(shards)].Record(v)
+	}
+	var merged HistogramSnapshot
+	for _, p := range parts {
+		merged.Merge(p.Snapshot())
+	}
+	direct := whole.Snapshot()
+	if merged != direct {
+		t.Fatal("merge-then-snapshot differs from record-then-snapshot on identical input")
+	}
+	for _, q := range quantileLadder {
+		if rel := relErr(merged.Quantile(q), direct.Quantile(q)); rel > 1.0/16+1e-9 {
+			t.Fatalf("Quantile(%v): merged %d vs direct %d, rel err %f", q, merged.Quantile(q), direct.Quantile(q), rel)
+		}
+	}
+	checkMonotone(t, "merged", merged)
+}
+
+// TestHistogramRecordHelpers pins the two timestamp helpers: elapsed
+// durations land in a plausible bucket, and negative elapsed (a
+// completion ahead of its intended schedule stamp) clamps to zero
+// instead of wrapping to a huge unsigned value — the wraparound would
+// silently blow up every upper quantile.
+func TestHistogramRecordHelpers(t *testing.T) {
+	h := NewHistogram()
+	h.RecordElapsed(-time.Second)
+	if s := h.Snapshot(); s.Count != 1 || s.Max != 0 {
+		t.Fatalf("negative elapsed must clamp to 0: %+v count=%d max=%d", s, s.Count, s.Max)
+	}
+	h = NewHistogram()
+	h.RecordElapsed(1500 * time.Nanosecond)
+	if s := h.Snapshot(); s.Count != 1 || s.Max != 1500 {
+		t.Fatalf("RecordElapsed(1.5µs): count=%d max=%d, want 1/1500", s.Count, s.Max)
+	}
+	h = NewHistogram()
+	start := time.Now().Add(-time.Millisecond) // elapsed >= 1ms by construction
+	h.RecordSince(start)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max < uint64(time.Millisecond) {
+		t.Fatalf("RecordSince: count=%d max=%d, want >= 1ms in ns", s.Count, s.Max)
 	}
 }
