@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/backoff"
 	"repro/internal/metrics"
 	"repro/internal/park"
 	"repro/internal/queueapi"
@@ -179,7 +180,14 @@ type Chan[T any] struct {
 type ChanHandle[T any] struct {
 	c *Chan[T]
 	h chanCoreHandle[T]
+	// rng is this handle's private jitter stream for the spin/yield
+	// wait phases: per-handle (so no sharing, no contention) and seeded
+	// from a global counter (so a herd of handles decorrelates).
+	rng backoff.Rand
 }
+
+// handleSeed hands each ChanHandle a distinct jitter seed.
+var handleSeed atomic.Uint64
 
 // NewChan returns an empty blocking channel facade buffering up to
 // capacity values (a power of two >= 2) on the backend selected with
@@ -246,15 +254,22 @@ func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], 
 	c := &Chan[T]{core: core, shardedFull: o.backend == BackendSharded, met: o.metrics}
 	c.notEmpty.SetMetrics(o.metrics)
 	c.notFull.SetMetrics(o.metrics)
+	c.notEmpty.SetStrategy(o.wait)
+	c.notFull.SetStrategy(o.wait)
 	return c, nil
 }
 
-// Stats snapshots the Chan's metrics sink: park/wake traffic and
-// parked durations from both park points, close-drain observations,
-// and every event the backing core recorded into the shared sink. The
-// zero snapshot is returned when the Chan was built without
-// WithMetrics.
-func (c *Chan[T]) Stats() MetricsSnapshot { return c.met.Snapshot() }
+// Stats snapshots the Chan's metrics sink: park/wake traffic, the
+// blocking-wait duration ladder and wake-tranche sizes from both park
+// points, close-drain observations, and every event the backing core
+// recorded into the shared sink. The Waiters gauge — the goroutines
+// parked on the Chan right now — is filled even without WithMetrics;
+// all other fields are zero then.
+func (c *Chan[T]) Stats() MetricsSnapshot {
+	s := c.met.Snapshot()
+	s.Waiters = c.notEmpty.Waiters() + c.notFull.Waiters()
+	return s
+}
 
 // wakeNotFull wakes parked senders after a slot frees up: one sender
 // on single-ring backends (any sender can use any slot), all of them
@@ -282,7 +297,7 @@ func (c *Chan[T]) Handle() (*ChanHandle[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ChanHandle[T]{c: c, h: h}, nil
+	return &ChanHandle[T]{c: c, h: h, rng: backoff.NewRand(handleSeed.Add(1))}, nil
 }
 
 // Cap returns the buffer capacity; 0 means unbounded
@@ -379,6 +394,24 @@ func (h *ChanHandle[T]) SendCtx(ctx context.Context, v T) error {
 		if err := ctx.Err(); err != nil {
 			c.finishSend(false)
 			return err
+		}
+		// Phases 1-2 of the wait: spin-then-yield re-checking the
+		// full condition before committing to a park. A hit on close
+		// (sent stays false) falls through to the registered re-check
+		// below, which returns ErrClosed.
+		sent := false
+		if c.notFull.SpinWait(&h.rng, func() bool {
+			if c.closed.Load() {
+				return true
+			}
+			if h.h.Enqueue(v) {
+				sent = true
+				return true
+			}
+			return false
+		}) && sent {
+			c.finishSend(true)
+			return nil
 		}
 		w := c.notFull.Prepare()
 		// Re-check after registering: a receiver may have freed a
@@ -497,6 +530,28 @@ func (h *ChanHandle[T]) SendManyCtx(ctx context.Context, vs []T) (int, error) {
 			c.finishSendN(0)
 			return sent, err
 		}
+		// Phases 1-2: spin-then-yield before parking, accumulating any
+		// partial chunk the spin lands. A hit on close falls through to
+		// the registered re-check below.
+		progress := 0
+		if c.notFull.SpinWait(&h.rng, func() bool {
+			if c.closed.Load() {
+				return true
+			}
+			if n := h.h.EnqueueBatch(vs[sent:]); n > 0 {
+				progress = n
+				return true
+			}
+			return false
+		}) && progress > 0 {
+			sent += progress
+			if sent == len(vs) {
+				c.finishSendN(progress)
+				return sent, nil
+			}
+			c.notEmpty.Wake(progress)
+			continue
+		}
 		w := c.notFull.Prepare()
 		// Re-check after registering (lost-wakeup protocol, as SendCtx).
 		if c.closed.Load() {
@@ -574,6 +629,20 @@ func (h *ChanHandle[T]) RecvManyCtx(ctx context.Context, out []T) (int, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
+		// Phases 1-2: spin-then-yield before parking. A hit on the
+		// closed-and-drained arm (got stays 0) falls through to the
+		// registered close-drain check below.
+		got := 0
+		if c.notEmpty.SpinWait(&h.rng, func() bool {
+			if n := h.h.DequeueBatch(out); n > 0 {
+				got = n
+				return true
+			}
+			return c.closed.Load() && c.sending.Load() == 0
+		}) && got > 0 {
+			c.wakeNotFullN(got)
+			return got, nil
+		}
 		w := c.notEmpty.Prepare()
 		// Re-check after registering (lost-wakeup protocol).
 		if n := h.h.DequeueBatch(out); n > 0 {
@@ -616,6 +685,21 @@ func (h *ChanHandle[T]) RecvCtx(ctx context.Context) (T, error) {
 		}
 		if err := ctx.Err(); err != nil {
 			return zero, err
+		}
+		// Phases 1-2: spin-then-yield before parking. A hit on the
+		// closed-and-drained arm (got stays false) falls through to the
+		// registered close-drain check below.
+		var sv T
+		got := false
+		if c.notEmpty.SpinWait(&h.rng, func() bool {
+			if v, ok := h.h.Dequeue(); ok {
+				sv, got = v, true
+				return true
+			}
+			return c.closed.Load() && c.sending.Load() == 0
+		}) && got {
+			c.wakeNotFull()
+			return sv, nil
 		}
 		w := c.notEmpty.Prepare()
 		// Re-check after registering (lost-wakeup protocol).

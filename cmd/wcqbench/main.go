@@ -17,6 +17,8 @@
 //	wcqbench -figure l1                  # open-loop latency vs offered load
 //	wcqbench -figure l1 -loads 0.25,0.9 -arrival fixed
 //	wcqbench -figure l1 -gate BENCH_queue.json   # CI: p99/footprint regression gate
+//	wcqbench -figure w1                  # wait strategies vs waiter count
+//	wcqbench -figure w1 -waiters 8,64 -smoke-wait   # CI: adaptive vs park, same run
 //	wcqbench -figure all -json BENCH_queue.json
 //
 // Absolute numbers depend on the host; the reproduction target is the
@@ -51,6 +53,8 @@ func main() {
 		loadsF   = flag.String("loads", "", "figure l1: comma-separated offered-load fractions of calibrated capacity (default 0.25,0.5,0.75,0.9,1.1)")
 		arrivalF = flag.String("arrival", "", "figure l1: inter-arrival process, poisson (default) or fixed")
 		gate     = flag.String("gate", "", "CI bench gate: compare this run's sub-saturation l1 points against the committed wcqbench/v1 file and exit nonzero on p99/footprint regression")
+		waitersF = flag.String("waiters", "", "figure w1: comma-separated waiter-count sweep (default 8,64,256,1024)")
+		smokeW   = flag.Bool("smoke-wait", false, "exit nonzero unless figure w1's adaptive strategy beats immediate park on wakeup p99 at the lowest waiter count and stays within throughput noise at the highest (relative same-run check)")
 	)
 	shared := clihelper.Register(flag.CommandLine, 1<<16)
 	flag.Parse()
@@ -79,6 +83,10 @@ func main() {
 		opts.Queues = strings.Split(*queuesF, ",")
 	}
 	if opts.Loads, err = clihelper.ParseFloatList(*loadsF); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if opts.Waiters, err = clihelper.ParseIntList(*waitersF); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -142,6 +150,8 @@ func main() {
 				bp.Load = pt.Load
 				bp.OfferedMops = pt.OfferedMops
 				bp.Latency = benchfmt.NewLatencyUS(pt.Latency)
+				bp.Wait = pt.Wait
+				bp.SpinHitRate = pt.SpinHitRate
 			}
 			jf.Points = append(jf.Points, bp)
 		}
@@ -190,6 +200,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("smoke-batch ok: p2 batch=32 beats scalar for wCQ and SCQ")
+	}
+
+	if *smokeW {
+		if err := smokeWait(jf.Points); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke-wait FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke-wait ok: adaptive wait beats park on p99 at low waiter counts and holds throughput at high")
 	}
 
 	if *gate != "" {
@@ -298,6 +316,80 @@ func smokeBatch(points []benchfmt.Point) error {
 		}
 		if batched <= scalar {
 			return fmt.Errorf("%s: batch=32 %.3f Mops/s <= scalar %.3f Mops/s", q, batched, scalar)
+		}
+	}
+	return nil
+}
+
+// smokeWait tolerances. At high waiter counts adaptive collapses to
+// parking, so throughput should match the park baseline to within
+// run-to-run noise; 0.7 leaves headroom for a 1-vCPU CI runner. The
+// latency check allows a 2x factor plus an absolute floor (same shape
+// as the bench gate's): both strategies' p99 sit at single-digit
+// microseconds when healthy, where run-to-run noise swamps a strict
+// comparison, while the regression the gate exists to catch — a
+// thundering herd or a spin phase that burns the workers' CPU — shows
+// up as hundreds of microseconds.
+const (
+	smokeWaitMopsFraction = 0.7
+	smokeWaitP99Factor    = 2.0
+	smokeWaitP99FloorUS   = 25.0
+)
+
+// smokeWait is the wait-strategy CI gate: on the same w1 run, for each
+// queue, the adaptive (spin-then-park) strategy must deliver a
+// blocking-wait p99 no worse than the immediate-park baseline at the
+// LOWEST waiter count swept (where spinning should win outright), and
+// throughput within noise of the baseline at the HIGHEST (where
+// adaptation must have collapsed to parking instead of burning the CPU
+// the workers need). Relative to the run itself, so robust to host
+// speed.
+func smokeWait(points []benchfmt.Point) error {
+	type key struct {
+		queue, wait string
+		waiters     int
+	}
+	pts := map[key]benchfmt.Point{}
+	queues := map[string]bool{}
+	lo, hi := 0, 0
+	for _, p := range points {
+		if p.Figure != "w1" || p.Err != "" {
+			continue
+		}
+		pts[key{p.Queue, p.Wait, p.Threads}] = p
+		queues[p.Queue] = true
+		if lo == 0 || p.Threads < lo {
+			lo = p.Threads
+		}
+		if p.Threads > hi {
+			hi = p.Threads
+		}
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("no w1 points in this run (run with -figure w1 or all)")
+	}
+	for q := range queues {
+		pLo, ok1 := pts[key{q, "park", lo}]
+		aLo, ok2 := pts[key{q, "adaptive", lo}]
+		pHi, ok3 := pts[key{q, "park", hi}]
+		aHi, ok4 := pts[key{q, "adaptive", hi}]
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return fmt.Errorf("%s: missing park/adaptive points at %d or %d waiters", q, lo, hi)
+		}
+		if pLo.Latency == nil || aLo.Latency == nil {
+			return fmt.Errorf("%s: w1 points at %d waiters carry no wait ladder", q, lo)
+		}
+		bound := smokeWaitP99Factor * pLo.Latency.P99
+		if bound < smokeWaitP99FloorUS {
+			bound = smokeWaitP99FloorUS
+		}
+		if aLo.Latency.P99 > bound {
+			return fmt.Errorf("%s @ %d waiters: adaptive wait p99 %.1fµs > park baseline %.1fµs (bound %.1fµs)",
+				q, lo, aLo.Latency.P99, pLo.Latency.P99, bound)
+		}
+		if aHi.MopsMean < smokeWaitMopsFraction*pHi.MopsMean {
+			return fmt.Errorf("%s @ %d waiters: adaptive %.3f Mops/s < %.0f%% of park %.3f Mops/s",
+				q, hi, aHi.MopsMean, smokeWaitMopsFraction*100, pHi.MopsMean)
 		}
 	}
 	return nil

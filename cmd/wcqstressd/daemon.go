@@ -120,8 +120,10 @@ func (d *daemon) vars() any {
 		"events":          events,
 		"footprint_bytes": d.q.Footprint(),
 		"rings":           d.rings(),
+		"waiters":         snap.Waiters,
 		"op_latency_ns":   quantiles(d.latency()),
 		"parked_ns":       quantiles(snap.Parked),
+		"wake_tranche":    quantiles(snap.Tranches),
 	}
 }
 
@@ -150,10 +152,13 @@ func (d *daemon) promText(w io.Writer) {
 	fmt.Fprintf(w, "# HELP wcqstressd_uptime_seconds Seconds since the daemon started.\n")
 	fmt.Fprintf(w, "# TYPE wcqstressd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "wcqstressd_uptime_seconds{queue=%q} %g\n", d.name, time.Since(d.start).Seconds())
+	fmt.Fprintf(w, "# HELP wcqstressd_waiters Goroutines currently parked on the queue's blocking facade.\n")
+	fmt.Fprintf(w, "# TYPE wcqstressd_waiters gauge\n")
+	fmt.Fprintf(w, "wcqstressd_waiters{queue=%q} %d\n", d.name, snap.Waiters)
 	promHistogram(w, d.name, "wcqstressd_op_latency_seconds",
 		"Sampled per-operation latency.", d.latency())
 	promHistogram(w, d.name, "wcqstressd_parked_seconds",
-		"Time waiters spent parked before a wake.", snap.Parked)
+		"Time waiters spent blocked (spin-phase hits and futex parks).", snap.Parked)
 }
 
 // promHistogram writes one histogram as summary-style quantile gauges

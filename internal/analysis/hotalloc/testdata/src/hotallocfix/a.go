@@ -125,6 +125,26 @@ func timestamped(p *atomic.Uint64) {
 	p.Add(uint64(t.UnixNano())) // want "calls \\(time.Time\\).UnixNano; package time is not on the allocation-free whitelist"
 }
 
+// jittered is the backoff-primitive shape: a xorshift step feeding a
+// bounded jitter draw, pure arithmetic end to end, so the whole spin
+// path vets allocation-free.
+//
+//wfq:noalloc
+func jittered(state *uint64, base, span uint64) uint64 {
+	x := *state
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*state = x
+	if span == 0 {
+		return base
+	}
+	return base + x%(span+1)
+}
+
 // suppressed shows the escape hatch for an audited one-off.
 //
 //wfq:noalloc

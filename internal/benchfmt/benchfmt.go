@@ -58,9 +58,18 @@ type Point struct {
 	OfferedMops float64 `json:"offered_mops,omitempty"`
 	// Latency carries the coordinated-omission-safe end-to-end latency
 	// percentiles of an open-loop point (enqueue intended-time to
-	// dequeue), in microseconds. Nil on closed-loop points.
+	// dequeue) — or, on wait-strategy (w1) points, the blocking-wait
+	// ladder (spin-phase hits and futex parks) — in microseconds. Nil
+	// on closed-loop points.
 	Latency *LatencyUS `json:"latency_us,omitempty"`
-	Err     string     `json:"error,omitempty"`
+	// Wait names the blocking-wait strategy a wait-strategy figure
+	// point ran under ("park", "adaptive", "spin"); empty elsewhere.
+	Wait string `json:"wait,omitempty"`
+	// SpinHitRate is the fraction of blocking waits resolved in the
+	// spin/yield phases without parking, in [0, 1] (wait-strategy
+	// points only).
+	SpinHitRate float64 `json:"spin_hit_rate,omitempty"`
+	Err         string  `json:"error,omitempty"`
 }
 
 // LatencyUS is the fixed percentile ladder every latency-carrying
@@ -165,6 +174,10 @@ func (f *File) Validate() error {
 		if p.Load < 0 || p.OfferedMops < 0 {
 			return fmt.Errorf("benchfmt: point %d (%s/%s) has negative offered load (load %f, offered %f)",
 				i, p.Figure, p.Queue, p.Load, p.OfferedMops)
+		}
+		if p.SpinHitRate < 0 || p.SpinHitRate > 1 {
+			return fmt.Errorf("benchfmt: point %d (%s/%s) has spin-hit rate %f outside [0, 1]",
+				i, p.Figure, p.Queue, p.SpinHitRate)
 		}
 		if p.Latency != nil {
 			if err := p.Latency.validate(); err != nil {

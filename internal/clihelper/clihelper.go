@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/atomicx"
+	"repro/internal/backoff"
 	"repro/internal/metrics"
 	"repro/internal/queues"
 	"repro/internal/ringcore"
@@ -41,6 +42,9 @@ type Flags struct {
 	// Blocking exercises the blocking Chan facades (Send/Recv with
 	// parking and graceful close) instead of the nonblocking queues.
 	Blocking bool
+	// Wait names the blocking-wait strategy for the Chan facades:
+	// "adaptive" (default), "spin", or "park".
+	Wait string
 	// Metrics gives each constructed queue a live metrics sink, so the
 	// run measures (and can report) the instrumented configuration.
 	Metrics bool
@@ -59,6 +63,7 @@ func Register(fs *flag.FlagSet, defaultCapacity uint64) *Flags {
 	fs.BoolVar(&f.Emulate, "emulate", false, "CAS-emulated F&A (PowerPC mode)")
 	fs.BoolVar(&f.Slowpath, "slowpath", false, "wCQ: patience 1 + eager helping (forces the helped slow paths)")
 	fs.BoolVar(&f.Blocking, "blocking", false, "exercise the blocking Chan facades (parked Send/Recv, graceful close)")
+	fs.StringVar(&f.Wait, "wait", "", "blocking-wait strategy for the Chan facades: adaptive (default), spin, or park")
 	fs.BoolVar(&f.Metrics, "metrics", false, "enable the internal metrics sink on every constructed queue (measures the instrumented configuration)")
 	return f
 }
@@ -96,6 +101,13 @@ func (f *Flags) Config(maxThreads int) (queues.Config, error) {
 	if f.Metrics {
 		cfg.Metrics = metrics.New()
 	}
+	if f.Wait != "" {
+		w, err := backoff.ByName(f.Wait)
+		if err != nil {
+			return queues.Config{}, fmt.Errorf("-wait: %w", err)
+		}
+		cfg.Wait = w
+	}
 	cfg.Core = f.CoreOptions()
 	return cfg, nil
 }
@@ -125,6 +137,28 @@ func ParseFloatList(s string) ([]float64, error) {
 		}
 		if v <= 0 {
 			return nil, fmt.Errorf("clihelper: list values must be positive, got %g", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseIntList parses a comma-separated list of positive integers —
+// the -waiters flag format ("8,64,256,1024"). An empty string yields
+// nil (use the figure's default sweep).
+func ParseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("clihelper: bad integer %q in list: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("clihelper: list values must be positive, got %d", v)
 		}
 		out = append(out, v)
 	}

@@ -43,6 +43,14 @@ type Figure struct {
 	Loads []float64
 	// Arrival is the inter-arrival process for open-loop figures.
 	Arrival Arrival
+	// Waiters makes this a wait-strategy figure (w1): the sweep axis is
+	// the total blocking-goroutine count (1:3 send/recv split), crossed
+	// with one line per strategy in Waits. Points carry the blocking
+	// wait ladder and the spin-hit rate.
+	Waiters []int
+	// Waits lists the wait-strategy names a Waiters figure sweeps
+	// ("park", "adaptive", "spin" — backoff.ByName vocabulary).
+	Waits []string
 }
 
 // Thread sweeps from the paper: x86 peaks at one 18-core socket then
@@ -133,6 +141,13 @@ func Figures() []Figure {
 		{ID: "l1", Title: "Open-loop latency vs offered load (µs, CO-safe)", Workload: Pairwise,
 			Threads: []int{4}, Mode: atomicx.NativeFAA, Queues: openLoopQueues,
 			Loads: loadFractions, Arrival: Poisson},
+		// Wait strategies under waiter pressure: immediate park vs
+		// adaptive spin-then-park, from a handful of goroutines to deep
+		// oversubscription, with the blocking-wait ladder and spin-hit
+		// rate per point.
+		{ID: "w1", Title: "Wait strategies vs waiter count: throughput, wait ladder, spin-hit rate", Workload: Pairwise,
+			Threads: []int{8}, Mode: atomicx.NativeFAA, Queues: waitQueues, Blocking: true,
+			Waiters: waiterCounts, Waits: waitStrategies},
 	}
 }
 
@@ -172,6 +187,9 @@ type RunOpts struct {
 	// Arrival overrides an open-loop figure's inter-arrival process
 	// when not DefaultArrival (cmd/wcqbench -arrival).
 	Arrival Arrival
+	// Waiters overrides a wait-strategy figure's goroutine-count sweep
+	// (cmd/wcqbench -waiters) — how CI runs a miniature w1.
+	Waiters []int
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -202,6 +220,9 @@ func (f Figure) Run(opts RunOpts) []Point {
 	}
 	if len(f.Loads) > 0 {
 		return f.runLoads(opts, qs)
+	}
+	if len(f.Waiters) > 0 {
+		return f.runWaiters(opts, qs)
 	}
 	var pts []Point
 	for _, name := range qs {
@@ -515,6 +536,11 @@ func (f Figure) Render(w io.Writer, pts []Point, opts RunOpts) {
 		fmt.Fprintf(w, "Figure %s: %s (%d producers / %d consumers, %s arrivals, %s)\n",
 			f.ID, f.Title, producers, consumers, arrival, f.Mode)
 		io.WriteString(w, FormatLoadPoints(pts, loads, qs))
+		return
+	}
+	if len(f.Waiters) > 0 {
+		fmt.Fprintf(w, "Figure %s: %s (1:3 send/recv split, %s)\n", f.ID, f.Title, f.Mode)
+		io.WriteString(w, FormatWaiterPoints(pts))
 		return
 	}
 	fmt.Fprintf(w, "Figure %s: %s (%s workload, %s)\n", f.ID, f.Title, f.Workload, f.Mode)

@@ -94,10 +94,18 @@ type Point struct {
 	OfferedMops float64
 	// Latency is the coordinated-omission-safe end-to-end latency
 	// distribution in nanoseconds, merged across reps (l1 only; zero
-	// Count otherwise). For l1, Mops summarizes the ACHIEVED transfer
-	// rate in Mtransfers/s rather than the closed-loop op rate.
+	// Count otherwise), or the blocking-wait ladder (w1). For l1, Mops
+	// summarizes the ACHIEVED transfer rate in Mtransfers/s rather
+	// than the closed-loop op rate.
 	Latency metrics.HistogramSnapshot
-	Err     error // non-nil when the queue is unavailable (e.g. LCRQ under emulation)
+	// Wait names the blocking-wait strategy this point ran under
+	// (wait-strategy figure w1 only; "" otherwise).
+	Wait string
+	// SpinHitRate is the fraction of blocking waits resolved in the
+	// spin/yield phases without parking, in [0, 1] (w1 only, and only
+	// meaningful for strategies with a spin phase).
+	SpinHitRate float64
+	Err         error // non-nil when the queue is unavailable (e.g. LCRQ under emulation)
 }
 
 // RunPoint measures one queue at one thread count.

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/metrics"
 	"repro/internal/queueapi"
 	"repro/internal/queues"
@@ -223,10 +224,16 @@ func RunOpenLoop(name string, cfg queues.Config, opts OpenLoopOpts) (OpenLoopRes
 		}
 		sc := newSchedule(arrival, perRate, uint64(p)+1)
 		prod.Add(1)
-		go func(h queueapi.Handle, sc *schedule) {
+		go func(h queueapi.Handle, sc *schedule, seed uint64) {
 			defer prod.Done()
 			barrier.Wait()
 			w, _ := h.(queueapi.Waitable)
+			// Full-queue retries escalate through the shared backoff
+			// primitive (spin, then jittered yields, then jittered
+			// sleeps) instead of a raw Gosched spin, so a saturated run
+			// does not have every backlogged producer hammering the
+			// scheduler in lockstep.
+			bo := backoff.New(nil, seed)
 			for i := 0; i < perProducer; i++ {
 				intended := sc.advance()
 				waitUntil(start, intended)
@@ -238,10 +245,11 @@ func RunOpenLoop(name string, cfg queues.Config, opts OpenLoopOpts) (OpenLoopRes
 					continue
 				}
 				for !h.Enqueue(uint64(intended)) {
-					runtime.Gosched()
+					bo.Wait()
 				}
+				bo.Reset()
 			}
-		}(h, sc)
+		}(h, sc, uint64(p)+1)
 	}
 	for c := 0; c < opts.Consumers; c++ {
 		h, herr := q.Handle()
@@ -251,7 +259,7 @@ func RunOpenLoop(name string, cfg queues.Config, opts OpenLoopOpts) (OpenLoopRes
 		hist := metrics.NewHistogram()
 		hists[c] = hist
 		cons.Add(1)
-		go func(h queueapi.Handle, hist *metrics.Histogram) {
+		go func(h queueapi.Handle, hist *metrics.Histogram, seed uint64) {
 			defer cons.Done()
 			barrier.Wait()
 			if blocking {
@@ -267,18 +275,24 @@ func RunOpenLoop(name string, cfg queues.Config, opts OpenLoopOpts) (OpenLoopRes
 					hist.RecordElapsed(time.Since(start) - time.Duration(v))
 				}
 			}
+			// Idle waits escalate through the backoff primitive rather
+			// than a raw Gosched spin: an empty-queue consumer yields a
+			// few times, then sleeps with jitter, so idle consumers do
+			// not synchronize into a polling herd.
+			bo := backoff.New(nil, seed)
 			for {
 				if v, ok := h.Dequeue(); ok {
 					hist.RecordElapsed(time.Since(start) - time.Duration(v))
 					consumed.Add(1)
+					bo.Reset()
 					continue
 				}
 				if prodDone.Load() && consumed.Load() >= uint64(total) {
 					return
 				}
-				runtime.Gosched()
+				bo.Wait()
 			}
-		}(h, hist)
+		}(h, hist, uint64(c)+101)
 	}
 
 	start = time.Now()

@@ -85,6 +85,20 @@ const (
 	// CloseDrain counts receive operations that observed the
 	// closed-and-drained state of a Chan and returned ErrClosed.
 	CloseDrain
+	// SpinHit counts waits satisfied during the spin/yield phases of
+	// the three-phase wait machine — blocking avoided entirely. The
+	// SpinHit:(SpinHit+SpinMiss) ratio is what the adaptive spin
+	// budget tracks per park point.
+	SpinHit
+	// SpinMiss counts waits whose spin and yield budgets expired
+	// without the condition coming true, forcing a futex park (or at
+	// least a Prepare/re-check round).
+	SpinMiss
+	// WakeTranche counts staggered WakeAll release tranches; the
+	// tranche-size distribution is in Snapshot.Tranches, and
+	// Wake/WakeTranche approximates the mean tranche size when
+	// broadcast wakes dominate.
+	WakeTranche
 
 	// NumEvents is the number of event kinds; valid events are
 	// 0 <= e < NumEvents.
@@ -109,6 +123,9 @@ var eventNames = [NumEvents]string{
 	"wake",
 	"spurious_wake",
 	"close_drain",
+	"spin_hit",
+	"spin_miss",
+	"wake_tranche",
 }
 
 // String returns the stable lower_snake wire name of the event.
@@ -148,8 +165,15 @@ type Sink struct {
 	mask    uintptr
 
 	// parked is the distribution of time waiters spent blocked on a
-	// park.Point, in nanoseconds.
+	// park.Point, in nanoseconds. Both resolutions of a blocking wait
+	// record here — spin/yield-phase hits (sub-microsecond) and real
+	// futex parks — so the distribution is the wait-latency ladder a
+	// strategy comparison reads, not just the parked tail.
 	parked Histogram
+
+	// tranches is the distribution of staggered WakeAll tranche sizes
+	// (waiters released per tranche).
+	tranches Histogram
 }
 
 // New returns an enabled Sink with one counter stripe per (power-of-two
@@ -225,6 +249,17 @@ func (s *Sink) ObserveParked(ns uint64) {
 	s.parked.Record(ns)
 }
 
+// ObserveTranche records one staggered WakeAll tranche's size (number
+// of waiters released together). No-op on a nil Sink.
+//
+//wfq:noalloc
+func (s *Sink) ObserveTranche(n uint64) {
+	if s == nil {
+		return
+	}
+	s.tranches.Record(n)
+}
+
 // Count returns the event's total across all stripes. Nil Sinks report
 // zero. It is a read-side helper; the data path never calls it.
 func (s *Sink) Count(e Event) uint64 {
@@ -244,8 +279,17 @@ func (s *Sink) Count(e Event) uint64 {
 type Snapshot struct {
 	// Counts holds one total per Event, indexed by the Event value.
 	Counts [NumEvents]uint64
-	// Parked is the parked-duration distribution in nanoseconds.
+	// Parked is the blocking-wait duration distribution in
+	// nanoseconds: spin/yield-phase hits and futex parks both record
+	// here (see Sink.ObserveParked).
 	Parked HistogramSnapshot
+	// Tranches is the staggered WakeAll tranche-size distribution.
+	Tranches HistogramSnapshot
+	// Waiters is the live parked population at snapshot time. The
+	// Sink does not track it — Sink.Snapshot leaves it zero — because
+	// it is a gauge over park.Point state, not a counter: the blocking
+	// facades (Chan.Stats) fill it from their park points.
+	Waiters int
 }
 
 // Snapshot sums the stripes and captures the parked histogram. A nil
@@ -262,6 +306,7 @@ func (s *Sink) Snapshot() Snapshot {
 		}
 	}
 	out.Parked = s.parked.Snapshot()
+	out.Tranches = s.tranches.Snapshot()
 	return out
 }
 
@@ -281,4 +326,6 @@ func (s *Snapshot) Merge(o Snapshot) {
 		s.Counts[e] += o.Counts[e]
 	}
 	s.Parked.Merge(o.Parked)
+	s.Tranches.Merge(o.Tranches)
+	s.Waiters += o.Waiters
 }

@@ -20,6 +20,7 @@ import (
 
 	wfqueue "repro"
 	"repro/internal/atomicx"
+	"repro/internal/backoff"
 	"repro/internal/ccq"
 	"repro/internal/crturn"
 	"repro/internal/faa"
@@ -64,6 +65,10 @@ type Config struct {
 	// built queue then implements queueapi.Statser. The external
 	// baselines are not instrumented and ignore it.
 	Metrics *metrics.Sink
+	// Wait selects the blocking-wait strategy for the Chan facades
+	// (spin-then-park tuning; nil = adaptive). The nonblocking
+	// variants ignore it.
+	Wait *backoff.Strategy
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +94,9 @@ func coreOptions(cfg Config) *ringcore.Options {
 	o.Mode = cfg.Mode
 	if cfg.Metrics != nil {
 		o.Metrics = cfg.Metrics
+	}
+	if cfg.Wait != nil {
+		o.Wait = cfg.Wait
 	}
 	return &o
 }
@@ -427,6 +435,11 @@ func newChanBuilder(name string, backend wfqueue.Backend) Builder {
 		}
 		if cfg.Metrics != nil {
 			opts = append(opts, wfqueue.WithMetrics(cfg.Metrics))
+		}
+		if wait := cfg.Wait; wait != nil {
+			opts = append(opts, wfqueue.WithWaitStrategy(wait))
+		} else if o := cfg.Core; o != nil && o.Wait != nil {
+			opts = append(opts, wfqueue.WithWaitStrategy(o.Wait))
 		}
 		if o := cfg.Core; o != nil {
 			opts = append(opts,

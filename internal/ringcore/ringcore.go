@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/atomicx"
+	"repro/internal/backoff"
 	"repro/internal/metrics"
 	"repro/internal/scq"
 	"repro/internal/wcq"
@@ -99,6 +100,12 @@ type Options struct {
 	// whole stack aggregates into one Sink. nil disables recording at
 	// the cost of one predictable branch per event site.
 	Metrics *metrics.Sink
+	// Wait selects the blocking-wait strategy (spin-then-park tuning).
+	// The ring cores themselves never wait — every operation is
+	// bounded — so this field rides along for the layers that do: the
+	// Chan facade's park points and the harness's open-loop retry
+	// paths consume it. nil means the adaptive default.
+	Wait *backoff.Strategy
 }
 
 // WCQ translates the shared options into the wCQ package's own

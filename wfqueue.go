@@ -46,6 +46,7 @@ import (
 	"fmt"
 
 	"repro/internal/atomicx"
+	"repro/internal/backoff"
 	"repro/internal/metrics"
 	"repro/internal/ringcore"
 	"repro/internal/scq"
@@ -67,6 +68,7 @@ type options struct {
 	ringCap         uint64
 	unboundedShards bool
 	metrics         *metrics.Sink
+	wait            *backoff.Strategy
 }
 
 // core translates the accumulated options into the shared ring-core
@@ -78,6 +80,7 @@ func (o options) core() *ringcore.Options {
 		DeqPatience: o.deqPatience,
 		HelpDelay:   o.helpDelay,
 		Metrics:     o.metrics,
+		Wait:        o.wait,
 	}
 }
 
@@ -127,6 +130,43 @@ func NewMetricsSink() *MetricsSink { return metrics.New() }
 // per potential event, measured at well under a nanosecond.
 func WithMetrics(m *MetricsSink) Option {
 	return func(o *options) { o.metrics = m }
+}
+
+// WaitStrategy tunes how blocking Chan operations wait: a bounded
+// spin re-checking the condition, a short jittered yield phase, then
+// a futex park (the three-phase machine in internal/park). The zero
+// value and nil both mean the adaptive default, where the spin budget
+// tracks each park point's observed spin-success rate. Construct one
+// with AdaptiveWait/SpinWait/ParkWait or WaitStrategyByName.
+type WaitStrategy = backoff.Strategy
+
+// AdaptiveWait returns the default strategy: spin-then-park with the
+// spin budget adapted per park point from the spin-hit EWMA, so an
+// uncontended channel converges to pure spin and an oversubscribed
+// one to immediate park.
+func AdaptiveWait() *WaitStrategy { return backoff.Adaptive() }
+
+// SpinWait returns the always-spin strategy: the full spin and yield
+// budgets are spent on every wait regardless of outcome history.
+// Lowest wakeup latency when waits are short; wasteful when they are
+// not.
+func SpinWait() *WaitStrategy { return backoff.Spin() }
+
+// ParkWait returns the immediate-park strategy: no spin phase at all,
+// the pre-adaptive behavior. The cheapest strategy when waits are
+// long and the baseline the perf gate compares against.
+func ParkWait() *WaitStrategy { return backoff.Park() }
+
+// WaitStrategyByName maps the flag vocabulary ("adaptive", "spin",
+// "park"; "" defaults to adaptive) to a strategy, erroring on unknown
+// names. The inverse of (*WaitStrategy).Name.
+func WaitStrategyByName(name string) (*WaitStrategy, error) { return backoff.ByName(name) }
+
+// WithWaitStrategy selects how NewChan's blocking operations wait
+// (nil or omitted = adaptive). Constructors without blocking
+// operations ignore this option.
+func WithWaitStrategy(s *WaitStrategy) Option {
+	return func(o *options) { o.wait = s }
 }
 
 // WithShards sets the shard count for NewSharded (default 4). The
