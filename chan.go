@@ -72,6 +72,11 @@ type chanCore[T any] interface {
 	newHandle() (chanCoreHandle[T], error)
 	capacity() uint64
 	footprint() uint64
+	// empty is the backend's one-sided emptiness probe (see
+	// ringcore.Core.Empty): true proves an instant during the call at
+	// which every enqueued value had been claimed by a dequeuer, which
+	// is the linearization point that makes a direct handoff FIFO-safe.
+	empty() bool
 }
 
 // chanCoreHandle is the per-goroutine nonblocking view every backend
@@ -89,18 +94,21 @@ type wcqChanCore[T any] struct{ q *Queue[T] }
 func (c wcqChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q.Handle() }
 func (c wcqChanCore[T]) capacity() uint64                      { return c.q.Cap() }
 func (c wcqChanCore[T]) footprint() uint64                     { return c.q.Footprint() }
+func (c wcqChanCore[T]) empty() bool                           { return c.q.q.Empty() }
 
 type scqChanCore[T any] struct{ q *LockFreeQueue[T] }
 
 func (c scqChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q.Handle() }
 func (c scqChanCore[T]) capacity() uint64                      { return c.q.Cap() }
 func (c scqChanCore[T]) footprint() uint64                     { return c.q.Footprint() }
+func (c scqChanCore[T]) empty() bool                           { return c.q.q.Empty() }
 
 type shardedChanCore[T any] struct{ q *ShardedQueue[T] }
 
 func (c shardedChanCore[T]) newHandle() (chanCoreHandle[T], error) { return c.q.Handle() }
 func (c shardedChanCore[T]) capacity() uint64                      { return c.q.Cap() }
 func (c shardedChanCore[T]) footprint() uint64                     { return c.q.Footprint() }
+func (c shardedChanCore[T]) empty() bool                           { return c.q.q.Empty() }
 
 type unboundedChanCore[T any] struct{ q *UnboundedQueue[T] }
 
@@ -113,6 +121,7 @@ func (c unboundedChanCore[T]) newHandle() (chanCoreHandle[T], error) {
 }
 func (c unboundedChanCore[T]) capacity() uint64  { return 0 }
 func (c unboundedChanCore[T]) footprint() uint64 { return c.q.Footprint() }
+func (c unboundedChanCore[T]) empty() bool       { return c.q.q.Empty() }
 
 // unboundedChanHandle adapts the never-full unbounded handle to the
 // bool-returning core contract: Enqueue always reports success, so
@@ -173,6 +182,20 @@ type Chan[T any] struct {
 	// the closed check may still be buffering its value, and draining
 	// receivers must not give up before it lands (or aborts).
 	sending atomic.Int64
+	// handoff enables the direct-handoff rendezvous fast path: a
+	// sender that finds a receiver parked on notEmpty (and the queue
+	// verifiably empty, preserving FIFO) publishes its value straight
+	// into the waiter's transfer cell and wakes it — the value never
+	// touches the ring. See chan_handoff.go.
+	handoff bool
+	// takeover enables the symmetric sender-side path: a receiver that
+	// frees a slot enqueues a parked sender's pending value on its
+	// behalf, so the woken sender returns without re-running its retry
+	// loop. Only single-ring bounded backends qualify — on the sharded
+	// backend the receiver's handle would enqueue into the wrong home
+	// shard, breaking per-handle FIFO, and unbounded backends never
+	// park senders.
+	takeover bool
 }
 
 // ChanHandle is a goroutine's capability to use a Chan. Not safe for
@@ -184,6 +207,15 @@ type ChanHandle[T any] struct {
 	// wait phases: per-handle (so no sharing, no contention) and seeded
 	// from a global counter (so a herd of handles decorrelates).
 	rng backoff.Rand
+	// rcell and scell are this handle's direct-handoff transfer cells:
+	// a parking receiver arms rcell on notEmpty so a sender can publish
+	// a value into it; a parking sender arms scell on notFull so a
+	// receiver can enqueue the pending value on its behalf. They live
+	// in the handle — one goroutine's private memory, never shared
+	// concurrently (the claim protocol serializes the peer's write
+	// against the owner's read) — so no cache-line padding is needed.
+	rcell T
+	scell T
 }
 
 // handleSeed hands each ChanHandle a distinct jitter seed.
@@ -252,6 +284,8 @@ func NewChan[T any](capacity uint64, maxThreads int, opts ...Option) (*Chan[T], 
 		return nil, fmt.Errorf("wfqueue: unknown chan backend %d", o.backend)
 	}
 	c := &Chan[T]{core: core, shardedFull: o.backend == BackendSharded, met: o.metrics}
+	c.handoff = o.handoff.Enabled()
+	c.takeover = c.handoff && (o.backend == BackendWCQ || o.backend == BackendSCQ)
 	c.notEmpty.SetMetrics(o.metrics)
 	c.notFull.SetMetrics(o.metrics)
 	c.notEmpty.SetStrategy(o.wait)
@@ -367,6 +401,12 @@ func (h *ChanHandle[T]) TrySend(v T) (ok bool, err error) {
 		c.finishSend(false)
 		return false, ErrClosed
 	}
+	if h.tryHandoff(v) {
+		// Delivered straight to a parked receiver, which was woken
+		// directly — no notEmpty wake needed on top.
+		c.finishSendN(0)
+		return true, nil
+	}
 	ok = h.h.Enqueue(v)
 	c.finishSend(ok)
 	return ok, nil
@@ -386,6 +426,11 @@ func (h *ChanHandle[T]) SendCtx(ctx context.Context, v T) error {
 		if c.closed.Load() {
 			c.finishSend(false)
 			return ErrClosed
+		}
+		if h.tryHandoff(v) {
+			// Delivered straight to a parked receiver (woken directly).
+			c.finishSendN(0)
+			return nil
 		}
 		if h.h.Enqueue(v) {
 			c.finishSend(true)
@@ -427,11 +472,32 @@ func (h *ChanHandle[T]) SendCtx(ctx context.Context, v T) error {
 			c.finishSend(true)
 			return nil
 		}
+		// Park commit: on takeover backends, arm the transfer cell so a
+		// receiver freeing a slot can enqueue v on our behalf. Arming
+		// only here — after the registered re-checks — keeps those
+		// re-checks (which must be free to Enqueue and Abort) from
+		// having to disarm first on every successful retry.
+		if c.takeover {
+			h.armSend(w, v)
+		}
 		select {
 		case <-w.Ready():
+			// Done before Finish: Finish recycles the waiter and resets
+			// its transfer state.
+			done := w.Done()
 			c.notFull.Finish(w)
+			if done {
+				// A receiver enqueued v for us (exactly once); signal a
+				// receiver for the value it made visible.
+				c.finishSend(true)
+				return nil
+			}
 		case <-ctx.Done():
-			c.notFull.Abort(w)
+			if c.notFull.Abort(w) {
+				// The handoff landed before the abort: v is buffered.
+				c.finishSend(true)
+				return nil
+			}
 			c.finishSend(false)
 			return ctx.Err()
 		}
@@ -446,7 +512,7 @@ func (h *ChanHandle[T]) SendCtx(ctx context.Context, v T) error {
 func (h *ChanHandle[T]) TryRecv() (v T, ok bool, err error) {
 	c := h.c
 	if v, ok := h.h.Dequeue(); ok {
-		c.wakeNotFull()
+		h.releaseSlot()
 		return v, true, nil
 	}
 	var zero T
@@ -454,7 +520,7 @@ func (h *ChanHandle[T]) TryRecv() (v T, ok bool, err error) {
 		// Final re-check: with the in-flight counter at zero after
 		// close, every completed send's value is visible.
 		if v, ok := h.h.Dequeue(); ok {
-			c.wakeNotFull()
+			h.releaseSlot()
 			return v, true, nil
 		}
 		c.met.Inc(metrics.CloseDrain)
@@ -518,6 +584,16 @@ func (h *ChanHandle[T]) SendManyCtx(ctx context.Context, vs []T) (int, error) {
 			c.finishSendN(0)
 			return sent, ErrClosed
 		}
+		// Rendezvous fast path: satisfy up to k parked receivers
+		// directly, one value each (each handoff wakes its receiver, so
+		// no notEmpty signal is owed for these).
+		for sent < len(vs) && h.tryHandoff(vs[sent]) {
+			sent++
+		}
+		if sent == len(vs) {
+			c.finishSendN(0)
+			return sent, nil
+		}
 		if n := h.h.EnqueueBatch(vs[sent:]); n > 0 {
 			sent += n
 			if sent == len(vs) {
@@ -569,11 +645,35 @@ func (h *ChanHandle[T]) SendManyCtx(ctx context.Context, vs []T) (int, error) {
 			c.notEmpty.Wake(n)
 			continue
 		}
+		// Park commit: arm the next pending value for takeover (see
+		// SendCtx for why arming waits until after the re-checks).
+		if c.takeover {
+			h.armSend(w, vs[sent])
+		}
 		select {
 		case <-w.Ready():
+			done := w.Done()
 			c.notFull.Finish(w)
+			if done {
+				// A receiver enqueued vs[sent] for us (exactly once).
+				sent++
+				if sent == len(vs) {
+					c.finishSendN(1)
+					return sent, nil
+				}
+				c.notEmpty.Wake(1)
+			}
 		case <-ctx.Done():
-			c.notFull.Abort(w)
+			if c.notFull.Abort(w) {
+				// The takeover landed before the abort: vs[sent] is
+				// buffered and counts toward the delivered prefix.
+				sent++
+				c.finishSendN(1)
+				if sent == len(vs) {
+					return sent, nil
+				}
+				return sent, ctx.Err()
+			}
 			c.finishSendN(0)
 			return sent, ctx.Err()
 		}
@@ -589,14 +689,14 @@ func (h *ChanHandle[T]) SendManyCtx(ctx context.Context, vs []T) (int, error) {
 func (h *ChanHandle[T]) TryRecvMany(out []T) (int, error) {
 	c := h.c
 	if n := h.h.DequeueBatch(out); n > 0 {
-		c.wakeNotFullN(n)
+		h.releaseSlots(n)
 		return n, nil
 	}
 	if c.closed.Load() && c.sending.Load() == 0 {
 		// Final re-check: with the in-flight counter at zero after
 		// close, every completed send's value is visible.
 		if n := h.h.DequeueBatch(out); n > 0 {
-			c.wakeNotFullN(n)
+			h.releaseSlots(n)
 			return n, nil
 		}
 		c.met.Inc(metrics.CloseDrain)
@@ -617,10 +717,20 @@ func (h *ChanHandle[T]) RecvMany(out []T) (int, error) {
 // RecvManyCtx is RecvMany bounded by ctx: it returns ctx.Err() if the
 // context expires while the buffer is still empty.
 func (h *ChanHandle[T]) RecvManyCtx(ctx context.Context, out []T) (int, error) {
-	c := h.c
 	if len(out) == 0 {
 		return 0, nil
 	}
+	if h.c.handoff {
+		return h.recvManyCtxHandoff(ctx, out)
+	}
+	return h.recvManyCtxRing(ctx, out)
+}
+
+// recvManyCtxRing is the pre-handoff blocking batch receive, kept
+// verbatim as the -handoff=off path (the A/B baseline the h1 figure
+// and the perf-smoke gate compare against).
+func (h *ChanHandle[T]) recvManyCtxRing(ctx context.Context, out []T) (int, error) {
+	c := h.c
 	for {
 		if n := h.h.DequeueBatch(out); n > 0 {
 			c.wakeNotFullN(n)
@@ -676,6 +786,15 @@ func (h *ChanHandle[T]) RecvManyCtx(ctx context.Context, out []T) (int, error) {
 // RecvCtx is Recv bounded by ctx: it returns ctx.Err() if the
 // context expires while the buffer is still empty.
 func (h *ChanHandle[T]) RecvCtx(ctx context.Context) (T, error) {
+	if h.c.handoff {
+		return h.recvCtxHandoff(ctx)
+	}
+	return h.recvCtxRing(ctx)
+}
+
+// recvCtxRing is the pre-handoff blocking receive, kept verbatim as
+// the -handoff=off path (see recvManyCtxRing).
+func (h *ChanHandle[T]) recvCtxRing(ctx context.Context) (T, error) {
 	c := h.c
 	var zero T
 	for {

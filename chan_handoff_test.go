@@ -1,0 +1,340 @@
+package wfqueue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestChanHandoffDeliversToParkedReceiver pins the receiver-side fast
+// path on every backend: with a receiver verifiably parked on an empty
+// Chan, Send must publish through the transfer cell (HandoffSend)
+// rather than the ring, and the receiver gets the value.
+func TestChanHandoffDeliversToParkedReceiver(t *testing.T) {
+	for _, b := range backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			c, err := NewChan[int](16, 2, WithBackend(b), WithMetrics(NewMetricsSink()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs, _ := c.Handle()
+			hr, _ := c.Handle()
+			got := make(chan int, 1)
+			go func() {
+				v, err := hr.Recv()
+				if err != nil {
+					t.Error(err)
+				}
+				got <- v
+			}()
+			waitParked(t, &c.notEmpty)
+			if err := hs.Send(41); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case v := <-got:
+				if v != 41 {
+					t.Fatalf("Recv = %d, want 41", v)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("parked receiver never woke")
+			}
+			snap := c.Stats()
+			if n := snap.Counts[metrics.HandoffSend]; n != 1 {
+				t.Fatalf("HandoffSend = %d, want 1 (value crossed the ring instead)", n)
+			}
+		})
+	}
+}
+
+// TestChanHandoffSenderTakeover pins the symmetric path on the bounded
+// single-ring backends: a Recv that frees a slot while a sender is
+// parked completes the sender's pending enqueue on its behalf
+// (HandoffRecv), preserving FIFO, and the woken sender returns without
+// retrying. Arming happens at park-commit — a hair after registration —
+// so the observing loop retries until a takeover actually lands.
+func TestChanHandoffSenderTakeover(t *testing.T) {
+	for _, b := range []Backend{BackendWCQ, BackendSCQ} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			c, err := NewChan[int](2, 3, WithBackend(b), WithMetrics(NewMetricsSink()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs, _ := c.Handle()
+			hr, _ := c.Handle()
+			deadline := time.Now().Add(10 * time.Second)
+			for round := 0; ; round++ {
+				base := round * 10
+				if err := hs.Send(base + 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := hs.Send(base + 2); err != nil {
+					t.Fatal(err)
+				}
+				done := make(chan error, 1)
+				go func() { done <- hs.Send(base + 3) }()
+				waitParked(t, &c.notFull)
+				for i := 1; i <= 3; i++ {
+					v, err := hr.Recv()
+					if err != nil || v != base+i {
+						t.Fatalf("round %d: Recv = %v, %v; want %d (FIFO broken)", round, v, err, base+i)
+					}
+				}
+				if err := <-done; err != nil {
+					t.Fatalf("round %d: parked Send = %v", round, err)
+				}
+				snap := c.Stats()
+				if snap.Counts[metrics.HandoffRecv] > 0 {
+					return // takeover landed and accounting above held
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("no sender takeover landed in any round")
+				}
+			}
+		})
+	}
+}
+
+// TestChanSendManyHandoffsToParkedReceivers pins the batch fast path:
+// a SendMany arriving over k parked receivers satisfies up to k of
+// them through their cells and rings the rest, with every value
+// delivered exactly once.
+func TestChanSendManyHandoffsToParkedReceivers(t *testing.T) {
+	const parked, batch = 3, 5
+	c, err := NewChan[int](16, parked+2, WithMetrics(NewMetricsSink()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, _ := c.Handle()
+	var mu sync.Mutex
+	got := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < parked; i++ {
+		h, _ := c.Handle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := h.Recv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			got[v]++
+			mu.Unlock()
+		}()
+	}
+	for c.notEmpty.Waiters() < parked {
+		time.Sleep(50 * time.Microsecond)
+	}
+	vs := make([]int, batch)
+	for i := range vs {
+		vs[i] = 100 + i
+	}
+	n, err := hs.SendMany(vs)
+	if err != nil || n != batch {
+		t.Fatalf("SendMany = %d, %v", n, err)
+	}
+	wg.Wait()
+	// The 3 parked receivers took 3 of the 5; the other 2 are ringed.
+	hr, _ := c.Handle()
+	for i := 0; i < batch-parked; i++ {
+		v, err := hr.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		got[v]++
+		mu.Unlock()
+	}
+	for i := range vs {
+		if got[100+i] != 1 {
+			t.Fatalf("value %d delivered %d times", 100+i, got[100+i])
+		}
+	}
+	snap := c.Stats()
+	if n := snap.Counts[metrics.HandoffSend]; n < parked {
+		t.Fatalf("HandoffSend = %d, want >= %d", n, parked)
+	}
+}
+
+// TestChanHandoffOffPinsRingPath is the A/B control: with
+// WithHandoff(false) the facade must never attempt a handoff — no
+// sends, no takeovers, not even misses — while the blocking protocol
+// still works.
+func TestChanHandoffOffPinsRingPath(t *testing.T) {
+	c, err := NewChan[int](4, 2, WithHandoff(false), WithMetrics(NewMetricsSink()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, _ := c.Handle()
+	hr, _ := c.Handle()
+	got := make(chan int, 1)
+	go func() {
+		v, _ := hr.Recv()
+		got <- v
+	}()
+	waitParked(t, &c.notEmpty)
+	if err := hs.Send(7); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != 7 {
+		t.Fatalf("Recv = %d", v)
+	}
+	snap := c.Stats()
+	for _, ev := range []metrics.Event{metrics.HandoffSend, metrics.HandoffRecv, metrics.HandoffMiss} {
+		if n := snap.Counts[ev]; n != 0 {
+			t.Fatalf("event %d fired %d times with handoff off", ev, n)
+		}
+	}
+}
+
+// TestChanHandoffCloseCancelStorm is the handoff-focused close/cancel
+// race: a receiver-heavy split on a small ring keeps the rendezvous
+// path hot (most sends land in parked receivers' cells), senders mix
+// plain and short-context sends, and Close fires mid-flight. Every
+// value whose Send reported success — including those mid-handoff at
+// close time — must be received exactly once. Run with -race.
+func TestChanHandoffCloseCancelStorm(t *testing.T) {
+	const (
+		senders   = 2
+		receivers = 6
+	)
+	for _, b := range backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			c, err := NewChan[uint64](16, senders+receivers+1, WithBackend(b), WithMetrics(NewMetricsSink()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var (
+				wg       sync.WaitGroup
+				mu       sync.Mutex
+				sent     = map[uint64]int{}
+				received = map[uint64]int{}
+				sends    atomic.Uint64
+			)
+			for s := 0; s < senders; s++ {
+				h, err := c.Handle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(id uint64, h *ChanHandle[uint64], withCtx bool) {
+					defer wg.Done()
+					ok := make([]uint64, 0, 1024)
+					defer func() {
+						mu.Lock()
+						for _, v := range ok {
+							sent[v]++
+						}
+						mu.Unlock()
+					}()
+					for seq := uint64(0); ; seq++ {
+						v := id<<32 | seq
+						var err error
+						if withCtx {
+							ctx, cancel := context.WithTimeout(context.Background(), time.Duration(50+seq%200)*time.Microsecond)
+							err = h.SendCtx(ctx, v)
+							cancel()
+						} else {
+							err = h.Send(v)
+						}
+						switch {
+						case err == nil:
+							ok = append(ok, v)
+							sends.Add(1)
+						case errors.Is(err, ErrClosed):
+							return
+						case errors.Is(err, context.DeadlineExceeded):
+							// Not sent; next sequence number.
+						default:
+							t.Errorf("sender %d: %v", id, err)
+							return
+						}
+					}
+				}(uint64(s), h, s%2 == 1)
+			}
+			for r := 0; r < receivers; r++ {
+				h, err := c.Handle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				// Half the receivers use short contexts, so cancellation
+				// races the in-flight claims this test exists for.
+				go func(h *ChanHandle[uint64], withCtx bool) {
+					defer wg.Done()
+					got := make([]uint64, 0, 1024)
+					defer func() {
+						mu.Lock()
+						for _, v := range got {
+							received[v]++
+						}
+						mu.Unlock()
+					}()
+					for {
+						var v uint64
+						var err error
+						if withCtx {
+							ctx, cancel := context.WithTimeout(context.Background(), 100*time.Microsecond)
+							v, err = h.RecvCtx(ctx)
+							cancel()
+						} else {
+							v, err = h.Recv()
+						}
+						switch {
+						case err == nil:
+							got = append(got, v)
+						case errors.Is(err, ErrClosed):
+							return
+						case errors.Is(err, context.DeadlineExceeded):
+							// Empty; keep draining.
+						default:
+							t.Errorf("receiver: %v", err)
+							return
+						}
+					}
+				}(h, r%2 == 1)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for sends.Load() < 2000 && time.Now().Before(deadline) {
+				time.Sleep(50 * time.Microsecond)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			for v, n := range sent {
+				if n != 1 {
+					t.Fatalf("value %#x sent %d times", v, n)
+				}
+				if received[v] != 1 {
+					t.Fatalf("value %#x sent once, received %d times (lost or duplicated)", v, received[v])
+				}
+			}
+			for v := range received {
+				if sent[v] != 1 {
+					t.Fatalf("value %#x received but never successfully sent", v)
+				}
+			}
+			// The bounded backends must actually have exercised the fast
+			// path. The unbounded ones legitimately may not: their senders
+			// never block, so under full blast the queue is rarely empty
+			// and receivers rarely park.
+			if b != BackendUnbounded && b != BackendShardedUnbounded {
+				snap := c.Stats()
+				if snap.Handoffs() == 0 {
+					t.Fatal("storm completed without a single handoff: the fast path never ran")
+				}
+			}
+		})
+	}
+}

@@ -121,6 +121,8 @@ func (d *daemon) vars() any {
 		"footprint_bytes": d.q.Footprint(),
 		"rings":           d.rings(),
 		"waiters":         snap.Waiters,
+		"handoffs":        snap.Handoffs(),
+		"handoff_rate":    snap.HandoffRate(),
 		"op_latency_ns":   quantiles(d.latency()),
 		"parked_ns":       quantiles(snap.Parked),
 		"wake_tranche":    quantiles(snap.Tranches),
@@ -155,6 +157,12 @@ func (d *daemon) promText(w io.Writer) {
 	fmt.Fprintf(w, "# HELP wcqstressd_waiters Goroutines currently parked on the queue's blocking facade.\n")
 	fmt.Fprintf(w, "# TYPE wcqstressd_waiters gauge\n")
 	fmt.Fprintf(w, "wcqstressd_waiters{queue=%q} %d\n", d.name, snap.Waiters)
+	fmt.Fprintf(w, "# HELP wcqstressd_handoffs_total Values moved by the direct-handoff rendezvous fast path (sends into parked receivers plus takeovers of parked senders).\n")
+	fmt.Fprintf(w, "# TYPE wcqstressd_handoffs_total counter\n")
+	fmt.Fprintf(w, "wcqstressd_handoffs_total{queue=%q} %d\n", d.name, snap.Handoffs())
+	fmt.Fprintf(w, "# HELP wcqstressd_handoff_hit_rate Fraction of handoff attempts that moved a value past the ring, in [0, 1].\n")
+	fmt.Fprintf(w, "# TYPE wcqstressd_handoff_hit_rate gauge\n")
+	fmt.Fprintf(w, "wcqstressd_handoff_hit_rate{queue=%q} %g\n", d.name, snap.HandoffRate())
 	promHistogram(w, d.name, "wcqstressd_op_latency_seconds",
 		"Sampled per-operation latency.", d.latency())
 	promHistogram(w, d.name, "wcqstressd_parked_seconds",

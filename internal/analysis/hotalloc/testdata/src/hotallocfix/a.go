@@ -8,6 +8,7 @@ package hotallocfix
 import (
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 type entry struct {
@@ -143,6 +144,42 @@ func jittered(state *uint64, base, span uint64) uint64 {
 		return base
 	}
 	return base + x%(span+1)
+}
+
+// xferWaiter is the transfer-cell handoff shape: an untyped cell
+// pointer published by a plain store ordered before an atomic state
+// store, claimed by CAS, written through with a typed pointer
+// conversion. Pure stores and atomics end to end — the direct-handoff
+// fast path must vet allocation-free.
+type xferWaiter struct {
+	state atomic.Uint32
+	cell  unsafe.Pointer
+}
+
+//wfq:noalloc
+func (w *xferWaiter) arm(cell unsafe.Pointer) {
+	w.cell = cell
+	w.state.Store(1)
+}
+
+//wfq:noalloc
+func publish(w *xferWaiter, v uint64) bool {
+	if !w.state.CompareAndSwap(1, 2) {
+		return false
+	}
+	*(*uint64)(w.cell) = v
+	w.state.Store(3)
+	return true
+}
+
+// leakyArm is the trap the fixture exists to catch: a cell allocated
+// per handoff instead of living in the owner's handle defeats the
+// zero-alloc fast path, and the analyzer must say so.
+//
+//wfq:noalloc
+func leakyArm(w *xferWaiter) {
+	c := new(uint64) // want "new allocates"
+	w.arm(unsafe.Pointer(c))
 }
 
 // suppressed shows the escape hatch for an audited one-off.

@@ -44,6 +44,10 @@ type Point struct {
 	Burst    int     `json:"burst,omitempty"`
 	MopsMin  float64 `json:"mops_min,omitempty"`
 	MopsMean float64 `json:"mops_mean,omitempty"`
+	// MopsMax is the best rep's throughput: the noise-robust estimator
+	// the relative perf smokes compare, since a single scheduler stall
+	// on a shared runner poisons a mean but not a max.
+	MopsMax  float64 `json:"mops_max,omitempty"`
 	MemoryMB float64 `json:"memory_mb,omitempty"`
 	// FootprintMB is the queue's own Footprint() after the run: the
 	// real summed allocation of the sharded compositions and the
@@ -69,6 +73,17 @@ type Point struct {
 	// spin/yield phases without parking, in [0, 1] (wait-strategy
 	// points only).
 	SpinHitRate float64 `json:"spin_hit_rate,omitempty"`
+	// Producers/Consumers record the explicit blocking role split of a
+	// handoff (h1) point; 0 elsewhere (the split is then derived from
+	// Threads).
+	Producers int `json:"producers,omitempty"`
+	Consumers int `json:"consumers,omitempty"`
+	// Handoff names the direct-handoff setting a handoff-figure point
+	// ran under ("on", "off"); empty elsewhere.
+	Handoff string `json:"handoff,omitempty"`
+	// HandoffRate is the fraction of handoff attempts that delivered a
+	// value past the ring, in [0, 1] (handoff points only).
+	HandoffRate float64 `json:"handoff_rate,omitempty"`
 	Err         string  `json:"error,omitempty"`
 }
 
@@ -171,6 +186,12 @@ func (f *File) Validate() error {
 			return fmt.Errorf("benchfmt: point %d (%s/%s) has inconsistent throughput (min %f, mean %f)",
 				i, p.Figure, p.Queue, p.MopsMin, p.MopsMean)
 		}
+		// MopsMax is optional (older logs omit it), but when present it
+		// must bound the mean from above.
+		if p.MopsMax != 0 && p.MopsMax < p.MopsMean {
+			return fmt.Errorf("benchfmt: point %d (%s/%s) has inconsistent throughput (mean %f, max %f)",
+				i, p.Figure, p.Queue, p.MopsMean, p.MopsMax)
+		}
 		if p.Load < 0 || p.OfferedMops < 0 {
 			return fmt.Errorf("benchfmt: point %d (%s/%s) has negative offered load (load %f, offered %f)",
 				i, p.Figure, p.Queue, p.Load, p.OfferedMops)
@@ -178,6 +199,14 @@ func (f *File) Validate() error {
 		if p.SpinHitRate < 0 || p.SpinHitRate > 1 {
 			return fmt.Errorf("benchfmt: point %d (%s/%s) has spin-hit rate %f outside [0, 1]",
 				i, p.Figure, p.Queue, p.SpinHitRate)
+		}
+		if p.HandoffRate < 0 || p.HandoffRate > 1 {
+			return fmt.Errorf("benchfmt: point %d (%s/%s) has handoff rate %f outside [0, 1]",
+				i, p.Figure, p.Queue, p.HandoffRate)
+		}
+		if p.Producers < 0 || p.Consumers < 0 {
+			return fmt.Errorf("benchfmt: point %d (%s/%s) has negative role split (%d:%d)",
+				i, p.Figure, p.Queue, p.Producers, p.Consumers)
 		}
 		if p.Latency != nil {
 			if err := p.Latency.validate(); err != nil {

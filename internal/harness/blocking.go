@@ -36,7 +36,10 @@ func BlockingSplit(threads int) (producers, consumers int) {
 // transferred value counts as two operations (send + recv), keeping
 // Mops comparable with the pairwise workload.
 func runBlockingOnce(name string, cfg queues.Config, opts PointOpts) (mops, memMB, fpMB float64, err error) {
-	producers, consumers := BlockingSplit(opts.Threads)
+	producers, consumers := opts.Producers, opts.Consumers
+	if producers <= 0 || consumers <= 0 {
+		producers, consumers = BlockingSplit(opts.Threads)
+	}
 	if cfg.MaxThreads < producers+consumers+1 {
 		cfg.MaxThreads = producers + consumers + 1
 	}

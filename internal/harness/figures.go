@@ -51,6 +51,14 @@ type Figure struct {
 	// Waits lists the wait-strategy names a Waiters figure sweeps
 	// ("park", "adaptive", "spin" — backoff.ByName vocabulary).
 	Waits []string
+	// Splits makes this a handoff figure (h1): the sweep axis is the
+	// explicit {producers, consumers} blocking role split, crossed with
+	// one line per handoff setting in Handoffs. Points carry the
+	// blocking wait ladder and the handoff hit rate.
+	Splits [][2]int
+	// Handoffs lists the handoff settings a Splits figure sweeps ("on",
+	// "off" — ringcore.HandoffByName vocabulary).
+	Handoffs []string
 }
 
 // Thread sweeps from the paper: x86 peaks at one 18-core socket then
@@ -148,6 +156,13 @@ func Figures() []Figure {
 		{ID: "w1", Title: "Wait strategies vs waiter count: throughput, wait ladder, spin-hit rate", Workload: Pairwise,
 			Threads: []int{8}, Mode: atomicx.NativeFAA, Queues: waitQueues, Blocking: true,
 			Waiters: waiterCounts, Waits: waitStrategies},
+		// Direct handoff A/B: the same blocking workload swept over the
+		// producer:consumer imbalance, with the rendezvous fast path on
+		// vs off. Points carry the wait ladder (wakeup latency) and the
+		// handoff hit rate.
+		{ID: "h1", Title: "Direct handoff on/off vs producer:consumer imbalance: throughput, wait ladder, hit rate", Workload: Pairwise,
+			Threads: []int{8}, Mode: atomicx.NativeFAA, Queues: handoffQueues, Blocking: true,
+			Splits: handoffSplits, Handoffs: handoffSettings},
 	}
 }
 
@@ -190,6 +205,10 @@ type RunOpts struct {
 	// Waiters overrides a wait-strategy figure's goroutine-count sweep
 	// (cmd/wcqbench -waiters) — how CI runs a miniature w1.
 	Waiters []int
+	// Handoff forces the Chan facades' direct-handoff setting for
+	// every figure (cmd/wcqbench -handoff). The handoff figure h1
+	// ignores it — the on/off cross IS that figure's sweep.
+	Handoff ringcore.HandoffMode
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -224,6 +243,9 @@ func (f Figure) Run(opts RunOpts) []Point {
 	if len(f.Waiters) > 0 {
 		return f.runWaiters(opts, qs)
 	}
+	if len(f.Splits) > 0 {
+		return f.runHandoff(opts, qs)
+	}
 	var pts []Point
 	for _, name := range qs {
 		for _, th := range f.Threads {
@@ -237,6 +259,7 @@ func (f Figure) Run(opts RunOpts) []Point {
 				Shards:     opts.Shards,
 				Ring:       opts.Ring,
 				Core:       opts.Core,
+				Handoff:    opts.Handoff,
 			}
 			if opts.Capacity > 0 {
 				cfg.Capacity = opts.Capacity
@@ -399,6 +422,7 @@ func (f Figure) runLoads(opts RunOpts, qs []string) []Point {
 			Shards:     opts.Shards,
 			Ring:       opts.Ring,
 			Core:       opts.Core,
+			Handoff:    opts.Handoff,
 		}
 		if opts.Capacity > 0 {
 			cfg.Capacity = opts.Capacity
@@ -541,6 +565,11 @@ func (f Figure) Render(w io.Writer, pts []Point, opts RunOpts) {
 	if len(f.Waiters) > 0 {
 		fmt.Fprintf(w, "Figure %s: %s (1:3 send/recv split, %s)\n", f.ID, f.Title, f.Mode)
 		io.WriteString(w, FormatWaiterPoints(pts))
+		return
+	}
+	if len(f.Splits) > 0 {
+		fmt.Fprintf(w, "Figure %s: %s (%s)\n", f.ID, f.Title, f.Mode)
+		io.WriteString(w, FormatHandoffPoints(pts))
 		return
 	}
 	fmt.Fprintf(w, "Figure %s: %s (%s workload, %s)\n", f.ID, f.Title, f.Workload, f.Mode)

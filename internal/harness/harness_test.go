@@ -51,10 +51,10 @@ func TestLCRQUnavailableProducesErrPoint(t *testing.T) {
 
 func TestFiguresComplete(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 15 {
-		t.Fatalf("have %d figures, want 15 (10a-12c + s1,s2 + b1 + u1 + p2 + l1 + w1)", len(figs))
+	if len(figs) != 16 {
+		t.Fatalf("have %d figures, want 16 (10a-12c + s1,s2 + b1 + u1 + p2 + l1 + w1 + h1)", len(figs))
 	}
-	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2", "b1", "u1", "p2", "l1", "w1"}
+	want := []string{"10a", "10b", "11a", "11b", "11c", "12a", "12b", "12c", "s1", "s2", "b1", "u1", "p2", "l1", "w1", "h1"}
 	for i, f := range figs {
 		if f.ID != want[i] {
 			t.Fatalf("figure %d is %q, want %q", i, f.ID, want[i])

@@ -99,6 +99,24 @@ const (
 	// Wake/WakeTranche approximates the mean tranche size when
 	// broadcast wakes dominate.
 	WakeTranche
+	// HandoffSend counts sends that bypassed the ring entirely: the
+	// queue was verifiably empty with a receiver parked (or
+	// spin-waiting) on notEmpty, so the value was published straight
+	// into the claimed waiter's transfer cell.
+	HandoffSend
+	// HandoffRecv counts receives that completed a parked sender's
+	// pending enqueue directly after freeing a slot, so the woken
+	// sender skipped its retry loop.
+	HandoffRecv
+	// HandoffMiss counts rendezvous attempts that reached the claim (or
+	// takeover enqueue) and lost it to a concurrent Disarm, wake, or
+	// racing producer, falling back to the ring path. A send that skips
+	// handoff because buffered values exist is NOT a miss — FIFO forbids
+	// the handoff there by design, so no rendezvous was attempted.
+	// (HandoffSend+HandoffRecv) / (HandoffSend+HandoffRecv+HandoffMiss)
+	// is the handoff hit rate: the fraction of attempted rendezvous that
+	// actually moved a value past the ring.
+	HandoffMiss
 
 	// NumEvents is the number of event kinds; valid events are
 	// 0 <= e < NumEvents.
@@ -126,6 +144,9 @@ var eventNames = [NumEvents]string{
 	"spin_hit",
 	"spin_miss",
 	"wake_tranche",
+	"handoff_send",
+	"handoff_recv",
+	"handoff_miss",
 }
 
 // String returns the stable lower_snake wire name of the event.
@@ -308,6 +329,25 @@ func (s *Sink) Snapshot() Snapshot {
 	out.Parked = s.parked.Snapshot()
 	out.Tranches = s.tranches.Snapshot()
 	return out
+}
+
+// Handoffs returns the total number of direct handoffs in the
+// snapshot: ring-bypassing sends to parked receivers plus completed
+// pending enqueues for parked senders.
+func (s *Snapshot) Handoffs() uint64 {
+	return s.Counts[HandoffSend] + s.Counts[HandoffRecv]
+}
+
+// HandoffRate returns the fraction of handoff attempts that succeeded,
+// in [0, 1] — the hit rate figure h1 reports. Zero when no attempt was
+// recorded.
+func (s *Snapshot) HandoffRate() float64 {
+	hits := s.Handoffs()
+	total := hits + s.Counts[HandoffMiss]
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
 }
 
 // EachCount calls f once per event in taxonomy order with the event's

@@ -35,6 +35,30 @@
 // swallow a thundering herd. The staggering preserves the invariant
 // that every waiter registered when WakeAll was called is woken by
 // that call.
+//
+// # Direct handoff
+//
+// A waiter registered with PrepareXfer is additionally *claimable*: it
+// carries a pointer to a transfer cell owned by the waiting goroutine,
+// and a waker that can satisfy the waiter directly (a sender with a
+// value for a parked receiver, a receiver completing a parked sender's
+// pending enqueue) may Claim it instead of waking it plainly. Claim
+// CAS-transitions the waiter armed→claimed — racing exactly one-shot
+// against the owner's Disarm (armed→idle), so a registration is either
+// claimed once or withdrawn once, never both — then the claimer
+// publishes through the cell and calls Deliver, which stores the done
+// state before sending the token. The token's channel send/receive is
+// the happens-before edge that makes the cell write visible (and
+// race-detector-clean) to the woken owner. An owner that stops waiting
+// (context expiry, condition satisfied) goes through Disarm/Abort:
+// Abort reports whether a handoff landed first, in which case the
+// value in the cell counts as delivered and must be consumed — nothing
+// is ever duplicated or dropped. Spin hits cannot starve the handoff
+// path: the pre-registration spin phases consume the condition itself
+// (a real dequeue attempt), so a spinner is invisible to wakers —
+// Waiters() reads 0 and senders use the wait-free ring the spinner is
+// draining — while from PrepareXfer onward the waiter is claimable
+// through its re-checks and the park alike.
 package park
 
 import (
@@ -42,9 +66,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"repro/internal/backoff"
 	"repro/internal/metrics"
+)
+
+// Transfer-cell claim states. A plain registration (Prepare) stays
+// xferIdle; PrepareXfer arms the waiter, Claim CASes armed→claimed
+// (exactly one winner against the owner's Disarm, which CASes
+// armed→idle), and Deliver stores done after the claimer's cell write
+// and before the token.
+const (
+	xferIdle uint32 = iota
+	xferArmed
+	xferClaimed
+	xferDone
 )
 
 // Waiter is one goroutine's registration at a Point. It is created by
@@ -56,6 +93,15 @@ type Waiter struct {
 	prev   *Waiter
 	queued bool      // still on the Point's list; guarded by Point.mu
 	t0     time.Time // Prepare time, for the parked-duration histogram; zero when metrics are off
+	// state is the handoff claim state (xfer*): armed by PrepareXfer,
+	// CASed claimed by Point.Claim, stored done by Point.Deliver, CASed
+	// back to idle by Disarm. Plain registrations stay idle.
+	state atomic.Uint32
+	// cell points at the owner's typed transfer cell. It lives in the
+	// owner's handle — not here — so the pool-shared Waiter stays
+	// untyped and the value write is private to the claim/deliver pair.
+	// nil unless armed.
+	cell unsafe.Pointer
 }
 
 // Ready returns the channel a wake token is delivered on. It becomes
@@ -203,6 +249,33 @@ func (p *Point) SpinWait(rng *backoff.Rand, cond func() bool) bool {
 //wfq:allocok pool-recycled waiter: allocates only until the pool is primed
 func (p *Point) Prepare() *Waiter {
 	w := waiterPool.Get().(*Waiter)
+	p.enqueueWaiter(w)
+	return w
+}
+
+// PrepareXfer is Prepare for a claimable waiter: it arms the
+// registration with the owner's transfer cell before the waiter
+// becomes visible on the list, so a waker may Claim it and publish a
+// value (or a completed enqueue) straight through the cell. The same
+// re-check-then-Abort contract as Prepare applies, with one addition:
+// after any wake — and after a failed Disarm — the owner must consult
+// Done to learn whether a handoff landed in its cell.
+//
+//wfq:allocok pool-recycled waiter: allocates only until the pool is primed
+func (p *Point) PrepareXfer(cell unsafe.Pointer) *Waiter {
+	w := waiterPool.Get().(*Waiter)
+	w.cell = cell
+	w.state.Store(xferArmed)
+	p.enqueueWaiter(w)
+	return w
+}
+
+// enqueueWaiter links w at the tail (FIFO) and publishes the
+// registration. Arming state must be set before this call: once the
+// waiter is listed, claimers can reach it.
+//
+//wfq:allocok allocation-free; sync.Mutex and time calls are outside the checker whitelist
+func (p *Point) enqueueWaiter(w *Waiter) {
 	w.queued = true
 	if p.met.Enabled() {
 		p.met.Inc(metrics.Park)
@@ -218,7 +291,6 @@ func (p *Point) Prepare() *Waiter {
 	}
 	p.waiters.Add(1)
 	p.mu.Unlock()
-	return w
 }
 
 // unlink removes w from the list. Caller holds p.mu and w.queued.
@@ -316,40 +388,165 @@ func (p *Point) WakeAll() {
 	}
 }
 
+// claimScanCap bounds how many queued waiters one Claim examines
+// under the lock. Armed waiters cluster at the head in practice (every
+// blocking Recv/Send arms), so the cap almost never bites; it exists
+// so a claim racing a run of disarming waiters cannot turn the Point's
+// mutex hold into a scan of the whole park list.
+const claimScanCap = 8
+
+// Claim removes and returns the oldest claimable (armed) waiter along
+// with its transfer cell, or (nil, nil) when none is claimable within
+// the scan cap. The armed→claimed CAS races the owner's Disarm, so
+// exactly one of them wins each registration. A successful Claim
+// obligates the caller to send exactly one token: write the value
+// through the cell and Deliver, or — if publishing fails — wake the
+// owner plainly with DeliverWake so it retries its normal path.
+//
+//wfq:allocok allocation-free; sync.Mutex calls are outside the checker whitelist
+func (p *Point) Claim() (*Waiter, unsafe.Pointer) {
+	if p.waiters.Load() == 0 {
+		return nil, nil
+	}
+	p.mu.Lock()
+	scanned := 0
+	for w := p.head; w != nil && scanned < claimScanCap; w = w.next {
+		if w.state.CompareAndSwap(xferArmed, xferClaimed) {
+			p.unlink(w)
+			p.mu.Unlock()
+			return w, w.cell
+		}
+		scanned++
+	}
+	p.mu.Unlock()
+	return nil, nil
+}
+
+// Deliver completes a claimed handoff. The caller has already written
+// the value through the claimed waiter's cell; Deliver publishes the
+// done state before the token, so the woken owner that consumed the
+// token observes both (the one-slot channel send/receive is the
+// happens-before edge that keeps the unsafe cell write race-free).
+//
+//wfq:allocok allocation-free; time calls are outside the checker whitelist
+func (p *Point) Deliver(w *Waiter) {
+	w.state.Store(xferDone)
+	p.met.Inc(metrics.Wake)
+	if !w.t0.IsZero() {
+		p.met.ObserveParked(uint64(time.Since(w.t0)))
+	}
+	w.ch <- struct{}{} // one-slot buffer, at most one token per registration: never blocks
+}
+
+// DeliverWake wakes a claimed waiter WITHOUT marking the handoff done:
+// the claim is abandoned (the claimer could not publish — e.g. the
+// ring slot it freed was stolen before it could enqueue on the owner's
+// behalf) and the owner resumes its normal retry path, exactly like a
+// spurious plain wake.
+//
+//wfq:allocok allocation-free; time calls are outside the checker whitelist
+func (p *Point) DeliverWake(w *Waiter) {
+	p.met.Inc(metrics.Wake)
+	if !w.t0.IsZero() {
+		p.met.ObserveParked(uint64(time.Since(w.t0)))
+	}
+	w.ch <- struct{}{}
+}
+
+// Arm upgrades a plain (Prepare) registration to a claimable one at
+// park-commit time: the cell write precedes the atomic state store, so
+// a claimer that wins the armed→claimed CAS observes the cell. Unlike
+// PrepareXfer — which arms before the waiter is listed — Arm is for
+// callers whose registered re-check must stay free to operate on the
+// queue (a sender's re-check enqueues, which an armed waiter may not
+// do without disarming first); they arm only once the re-check has
+// failed and the park is committed. At most once per registration,
+// before blocking on Ready.
+//
+//wfq:noalloc
+func (w *Waiter) Arm(cell unsafe.Pointer) {
+	w.cell = cell
+	w.state.Store(xferArmed)
+}
+
+// Disarm withdraws an armed waiter from claimability: true means the
+// owner reclaimed exclusive use of its cell (no handoff can land
+// anymore, and the owner may touch the queue itself); false means a
+// claimer won the CAS first, and the owner MUST consume the token and
+// take the handed-off result (see Done). Only valid on a waiter
+// registered with PrepareXfer, at most once.
+//
+//wfq:noalloc
+func (w *Waiter) Disarm() bool {
+	return w.state.CompareAndSwap(xferArmed, xferIdle)
+}
+
+// Done reports whether a handoff completed on this registration: the
+// owner's cell holds the delivered value (receivers) or records that
+// the pending value was published on the owner's behalf (senders).
+//
+//wfq:noalloc
+func (w *Waiter) Done() bool { return w.state.Load() == xferDone }
+
 // Abort retires a registration without consuming from Ready. If the
 // waiter had already been woken, the token is drained and the wake is
 // forwarded to the next waiter, so a waker's signal is never lost to
 // a caller that stopped waiting (context expiry, condition satisfied
 // during the re-check).
-func (p *Point) Abort(w *Waiter) {
+//
+// The return reports whether a claimed handoff completed on this
+// registration first: true means the value in the owner's cell counts
+// as delivered and the caller must consume it (returning success, not
+// the abort's error) — the one linearization where "stop waiting"
+// loses the race to a claimer that already published. Plain (Prepare)
+// registrations always return false.
+func (p *Point) Abort(w *Waiter) bool {
 	p.mu.Lock()
 	if w.queued {
+		// Still listed, hence not claimed: Claim unlinks under this
+		// same lock before releasing, so a queued waiter has no
+		// claimer. (It may be armed; recycle resets that.)
 		p.unlink(w)
 		p.mu.Unlock()
 		p.recycle(w)
-		return
+		return false
 	}
 	p.mu.Unlock()
-	// Already woken: the token was buffered under the lock, so this
-	// never blocks. Pass the signal on. For the waker the delivery was
-	// wasted — the classic spurious wake — which is what the forwarded
-	// Wake(1) compensates for.
+	// Already woken or claimed: a token is in flight and arrives on the
+	// one-slot buffer, so this receive completes. (A claimer sends its
+	// token right after publishing; there is no abandoned-claim state.)
 	<-w.ch
+	if w.state.Load() == xferDone {
+		// A handoff landed between the owner's decision to abort and
+		// the claim. The token was this handoff's own — nothing to
+		// forward — and the cell value must be consumed by the caller.
+		p.recycle(w)
+		return true
+	}
+	// Pass the signal on. For the waker the delivery was wasted — the
+	// classic spurious wake — which is what the forwarded Wake(1)
+	// compensates for.
 	p.met.Inc(metrics.SpuriousWake)
 	p.recycle(w)
 	p.Wake(1)
+	return false
 }
 
 // Finish retires a registration whose token was consumed from Ready.
 func (p *Point) Finish(w *Waiter) { p.recycle(w) }
 
 // Waiters reports how many goroutines are currently registered
-// (woken-but-not-yet-retired waiters do not count). For tests and
-// introspection; racy by nature.
+// (woken-but-not-yet-retired waiters do not count). Racy by nature; it
+// is the handoff paths' fast-path gate (one atomic load when nobody
+// sleeps) as well as a test/introspection hook.
+//
+//wfq:noalloc
 func (p *Point) Waiters() int { return int(p.waiters.Load()) }
 
 func (p *Point) recycle(w *Waiter) {
 	w.next, w.prev, w.queued = nil, nil, false
 	w.t0 = time.Time{}
+	w.cell = nil
+	w.state.Store(xferIdle)
 	waiterPool.Put(w)
 }

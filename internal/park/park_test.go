@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+	"unsafe"
 )
 
 func TestWakeWithNoWaitersIsNoop(t *testing.T) {
@@ -177,5 +178,235 @@ func TestNoLostWakeupProtocol(t *testing.T) {
 	wg.Wait()
 	if consumed.Load() != total {
 		t.Fatalf("consumed %d of %d", consumed.Load(), total)
+	}
+}
+
+// --- Claim-protocol (direct handoff) tests -------------------------
+
+func TestClaimDeliverHandoff(t *testing.T) {
+	var p Point
+	var cell uint64
+	w := p.PrepareXfer(unsafe.Pointer(&cell))
+	cw, cp := p.Claim()
+	if cw != w || cp != unsafe.Pointer(&cell) {
+		t.Fatalf("Claim = %p, %p; want %p, %p", cw, cp, w, &cell)
+	}
+	if p.Waiters() != 0 {
+		t.Fatalf("waiters = %d after Claim (claim must unlink)", p.Waiters())
+	}
+	*(*uint64)(cp) = 42
+	p.Deliver(cw)
+	select {
+	case <-w.Ready():
+	case <-time.After(time.Second):
+		t.Fatal("Deliver sent no token")
+	}
+	if !w.Done() {
+		t.Fatal("Done() = false after Deliver")
+	}
+	if cell != 42 {
+		t.Fatalf("cell = %d, want 42", cell)
+	}
+	p.Finish(w)
+}
+
+func TestDisarmWithdrawsClaimability(t *testing.T) {
+	var p Point
+	var cell int
+	w := p.PrepareXfer(unsafe.Pointer(&cell))
+	if !w.Disarm() {
+		t.Fatal("Disarm lost with no claimer")
+	}
+	if cw, _ := p.Claim(); cw != nil {
+		t.Fatal("Claim succeeded on a disarmed waiter")
+	}
+	if p.Abort(w) {
+		t.Fatal("Abort reported a handoff on a disarmed waiter")
+	}
+	if p.Waiters() != 0 {
+		t.Fatalf("waiters = %d at end", p.Waiters())
+	}
+}
+
+func TestClaimBeatsDisarm(t *testing.T) {
+	var p Point
+	var cell int
+	w := p.PrepareXfer(unsafe.Pointer(&cell))
+	cw, cp := p.Claim()
+	if cw == nil {
+		t.Fatal("Claim failed on an armed waiter")
+	}
+	if w.Disarm() {
+		t.Fatal("Disarm won after Claim already had")
+	}
+	*(*int)(cp) = 7
+	p.Deliver(cw)
+	<-w.Ready()
+	if !w.Done() || cell != 7 {
+		t.Fatalf("Done = %v, cell = %d after losing Disarm", w.Done(), cell)
+	}
+	p.Finish(w)
+}
+
+// TestAbortLosesToClaim is the constructed-interleaving regression for
+// the one linearization where "stop waiting" loses: the claimer wins
+// the CAS and unlinks while the owner is deciding to abort. Abort must
+// then block until the claimer's Deliver and return true, and the cell
+// value counts as delivered — the owner consumes it instead of
+// reporting its cancellation.
+func TestAbortLosesToClaim(t *testing.T) {
+	var p Point
+	var cell uint64
+	w := p.PrepareXfer(unsafe.Pointer(&cell))
+	cw, cp := p.Claim() // claimer wins before the owner aborts
+	if cw == nil {
+		t.Fatal("Claim failed on an armed waiter")
+	}
+	aborted := make(chan bool, 1)
+	go func() { aborted <- p.Abort(w) }()
+	// Abort blocks on the token only Deliver sends, so it cannot have
+	// resolved yet; this select documents the ordering rather than
+	// proving it (the proof is the one-slot channel protocol).
+	select {
+	case r := <-aborted:
+		t.Fatalf("Abort returned %v before Deliver", r)
+	case <-time.After(10 * time.Millisecond):
+	}
+	*(*uint64)(cp) = 99
+	p.Deliver(cw)
+	select {
+	case r := <-aborted:
+		if !r {
+			t.Fatal("Abort = false after a claimed handoff delivered")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Abort never returned after Deliver")
+	}
+	if cell != 99 {
+		t.Fatalf("cell = %d, want 99", cell)
+	}
+}
+
+func TestDeliverWakeAbandonsClaim(t *testing.T) {
+	// A claimer that cannot publish wakes the owner plainly; the owner
+	// sees a spurious wake (Done false) and retries its normal path.
+	var p Point
+	var cell int
+	w := p.PrepareXfer(unsafe.Pointer(&cell))
+	cw, _ := p.Claim()
+	if cw == nil {
+		t.Fatal("Claim failed on an armed waiter")
+	}
+	p.DeliverWake(cw)
+	select {
+	case <-w.Ready():
+	case <-time.After(time.Second):
+		t.Fatal("DeliverWake sent no token")
+	}
+	if w.Done() {
+		t.Fatal("Done() = true after an abandoned claim")
+	}
+	p.Finish(w)
+}
+
+func TestArmUpgradesPlainRegistration(t *testing.T) {
+	var p Point
+	var cell int
+	w := p.Prepare()
+	if cw, _ := p.Claim(); cw != nil {
+		t.Fatal("Claim succeeded on a plain (unarmed) waiter")
+	}
+	w.Arm(unsafe.Pointer(&cell))
+	cw, cp := p.Claim()
+	if cw != w {
+		t.Fatal("Claim failed after Arm")
+	}
+	*(*int)(cp) = 5
+	p.Deliver(cw)
+	<-w.Ready()
+	if !w.Done() || cell != 5 {
+		t.Fatalf("Done = %v, cell = %d after armed claim", w.Done(), cell)
+	}
+	p.Finish(w)
+}
+
+func TestClaimSkipsUnarmedWaiters(t *testing.T) {
+	// A plain waiter ahead of an armed one must not block the claim:
+	// the scan passes unarmed registrations and claims the oldest armed
+	// one, leaving the plain waiter queued for a normal wake.
+	var p Point
+	var cell int
+	plain := p.Prepare()
+	armed := p.PrepareXfer(unsafe.Pointer(&cell))
+	cw, _ := p.Claim()
+	if cw != armed {
+		t.Fatalf("Claim = %p, want the armed waiter %p", cw, armed)
+	}
+	if p.Waiters() != 1 {
+		t.Fatalf("waiters = %d; the plain waiter must stay queued", p.Waiters())
+	}
+	p.Deliver(cw)
+	<-armed.Ready()
+	p.Finish(armed)
+	p.Wake(1)
+	<-plain.Ready()
+	p.Finish(plain)
+}
+
+// TestClaimDisarmRace hammers the armed→claimed vs armed→idle CAS from
+// both sides: every registration must resolve to exactly one of
+// "claimed and delivered" or "disarmed and never touched". Run with
+// -race.
+func TestClaimDisarmRace(t *testing.T) {
+	var p Point
+	const rounds = 20000
+	var delivered, kept atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // claimer
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if w, cp := p.Claim(); w != nil {
+				*(*uint64)(cp) = 1
+				p.Deliver(w)
+			}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		var cell uint64
+		w := p.PrepareXfer(unsafe.Pointer(&cell))
+		if w.Disarm() {
+			// Withdrawn: no handoff can land; the cell must stay zero.
+			if cell != 0 {
+				t.Fatalf("round %d: disarmed cell = %d", i, cell)
+			}
+			kept.Add(1)
+			if p.Abort(w) {
+				t.Fatalf("round %d: Abort reported a handoff after a won Disarm", i)
+			}
+			continue
+		}
+		// A claimer won: the token and the value must both arrive.
+		<-w.Ready()
+		if !w.Done() || cell != 1 {
+			t.Fatalf("round %d: lost Disarm but Done = %v, cell = %d", i, w.Done(), cell)
+		}
+		delivered.Add(1)
+		p.Finish(w)
+	}
+	close(stop)
+	wg.Wait()
+	if delivered.Load()+kept.Load() != rounds {
+		t.Fatalf("accounting: %d delivered + %d kept != %d rounds",
+			delivered.Load(), kept.Load(), rounds)
+	}
+	if p.Waiters() != 0 {
+		t.Fatalf("waiters = %d at end", p.Waiters())
 	}
 }

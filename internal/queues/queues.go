@@ -69,6 +69,10 @@ type Config struct {
 	// (spin-then-park tuning; nil = adaptive). The nonblocking
 	// variants ignore it.
 	Wait *backoff.Strategy
+	// Handoff toggles the direct-handoff rendezvous fast path of the
+	// Chan facades (the zero value keeps the default: enabled). The
+	// nonblocking variants ignore it.
+	Handoff ringcore.HandoffMode
 }
 
 func (c Config) withDefaults() Config {
@@ -440,6 +444,15 @@ func newChanBuilder(name string, backend wfqueue.Backend) Builder {
 			opts = append(opts, wfqueue.WithWaitStrategy(wait))
 		} else if o := cfg.Core; o != nil && o.Wait != nil {
 			opts = append(opts, wfqueue.WithWaitStrategy(o.Wait))
+		}
+		handoff := cfg.Handoff
+		if handoff == ringcore.HandoffDefault {
+			if o := cfg.Core; o != nil {
+				handoff = o.Handoff
+			}
+		}
+		if handoff != ringcore.HandoffDefault {
+			opts = append(opts, wfqueue.WithHandoff(handoff == ringcore.HandoffOn))
 		}
 		if o := cfg.Core; o != nil {
 			opts = append(opts,

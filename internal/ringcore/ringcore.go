@@ -106,6 +106,52 @@ type Options struct {
 	// Chan facade's park points and the harness's open-loop retry
 	// paths consume it. nil means the adaptive default.
 	Wait *backoff.Strategy
+	// Handoff selects whether the blocking facade's direct-handoff
+	// rendezvous path is used. Like Wait it rides along for the Chan
+	// layer; the cores themselves never consult it. The zero value
+	// (HandoffDefault) means enabled.
+	Handoff HandoffMode
+}
+
+// HandoffMode is the tri-state direct-handoff selector: the zero value
+// keeps the default (enabled) so an Options literal that never heard
+// of handoff stays correct, while HandoffOff pins the pre-handoff ring
+// path for A/B comparison.
+type HandoffMode uint8
+
+const (
+	// HandoffDefault applies the default, which is enabled.
+	HandoffDefault HandoffMode = iota
+	// HandoffOn enables the direct-handoff rendezvous path explicitly.
+	HandoffOn
+	// HandoffOff disables it: every value moves through the ring and
+	// every wake is a plain token (the pre-handoff behavior).
+	HandoffOff
+)
+
+// Enabled resolves the tri-state to a concrete decision.
+func (m HandoffMode) Enabled() bool { return m != HandoffOff }
+
+// HandoffByName maps the -handoff flag vocabulary ("", "on", "off") to
+// a mode, erroring on unknown names.
+func HandoffByName(name string) (HandoffMode, error) {
+	switch name {
+	case "":
+		return HandoffDefault, nil
+	case "on":
+		return HandoffOn, nil
+	case "off":
+		return HandoffOff, nil
+	}
+	return 0, fmt.Errorf("ringcore: unknown handoff mode %q (have on, off)", name)
+}
+
+// Handoff extracts the handoff mode (HandoffDefault when o is nil).
+func (o *Options) HandoffMode() HandoffMode {
+	if o == nil {
+		return HandoffDefault
+	}
+	return o.Handoff
 }
 
 // WCQ translates the shared options into the wCQ package's own
@@ -196,6 +242,14 @@ type Core[T any] interface {
 	// cores report their fixed construction-time allocation; unbounded
 	// composites report a live figure that grows and shrinks.
 	Footprint() uint64
+	// Empty reports that the core held no unclaimed value at some
+	// instant during the call. The probe is one-sided: true proves a
+	// linearization point at which every enqueued value had been
+	// claimed by a dequeuer (a concurrent enqueue may land right
+	// after); false proves nothing. The blocking facade's direct
+	// handoff relies on exactly this — bypassing the ring is FIFO-safe
+	// iff no unclaimed value precedes the handed-off one.
+	Empty() bool
 	// Kind identifies the ring kind the core is built from.
 	Kind() Kind
 }

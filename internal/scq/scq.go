@@ -549,6 +549,15 @@ func (q *Queue[T]) Drained() bool {
 	return q.sealed.Load() && q.inflight.Load() == 0 && q.aq.Drained()
 }
 
+// Empty reports that the queue held no value at some instant during
+// the call: aq's head counter had caught up with its tail counter, so
+// every enqueued value had been claimed by a dequeue. One-sided (a
+// concurrent enqueue may land right after) — the guarantee the
+// blocking facade's direct handoff needs to stay FIFO.
+//
+//wfq:noalloc
+func (q *Queue[T]) Empty() bool { return q.aq.Drained() }
+
 // EnqueueSealed appends v unless the queue is full or sealed.
 //
 //wfq:noalloc

@@ -214,6 +214,25 @@ func (q *Queue[T]) Footprint() uint64 {
 	return total
 }
 
+// Empty reports that every shard held no unclaimed value at some
+// (per-shard) instant during the call. The per-shard probes happen at
+// different instants, which is still the guarantee a sequential
+// producer needs: its earlier value either sat unclaimed in its home
+// shard when that shard was probed (probe false, no handoff) or had
+// been claimed by a dequeuer that then owns it — this queue promises
+// per-handle FIFO only, so cross-shard interleaving carries no
+// obligation. One-sided like the core probes: false proves nothing.
+//
+//wfq:noalloc
+func (q *Queue[T]) Empty() bool {
+	for _, c := range q.cores {
+		if !c.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
 // Core exposes the sharded queue itself through the ringcore.Core
 // contract, so the registry's generic adapter (and any further
 // composition) consumes it exactly like a single ring core.
@@ -225,6 +244,7 @@ type shardedCore[T any] struct{ q *Queue[T] }
 func (c shardedCore[T]) Acquire() (ringcore.Handle[T], error) { return c.q.Register() }
 func (c shardedCore[T]) Cap() uint64                          { return c.q.Cap() }
 func (c shardedCore[T]) Footprint() uint64                    { return c.q.Footprint() }
+func (c shardedCore[T]) Empty() bool                          { return c.q.Empty() }
 func (c shardedCore[T]) Kind() ringcore.Kind                  { return c.q.kind }
 
 // Stats snapshots the composition's metrics sink. The shards record

@@ -647,6 +647,23 @@ func (p *ringPool[T]) footprint() uint64 {
 	return f
 }
 
+// Empty reports that the queue held no unclaimed value relevant to
+// per-producer ordering at some instant during the call: the outer
+// list was a single node (head == tail) and that node's ring counters
+// had caught up. One-sided, like the bounded cores' probe: any value a
+// sequential producer enqueued before this call was either in that
+// lone ring (then the ring probe proves it was claimed) or in a ring
+// already drained. Values other producers land concurrently in a
+// successor ring carry no ordering obligation toward this probe's
+// caller — the blocking facade, like the sharded queue, promises
+// per-handle FIFO only.
+//
+//wfq:noalloc
+func (q *Queue[T]) Empty() bool {
+	h := q.head.Load()
+	return h == q.tail.Load() && h.r.Empty()
+}
+
 // Pooled reports how many rings are currently parked in the free-list.
 func (q *Queue[T]) Pooled() int {
 	q.pool.mu.Lock()
@@ -676,6 +693,7 @@ func (c ubCore[T]) Acquire() (ringcore.Handle[T], error) {
 }
 func (c ubCore[T]) Cap() uint64         { return 0 }
 func (c ubCore[T]) Footprint() uint64   { return c.q.Footprint() }
+func (c ubCore[T]) Empty() bool         { return c.q.Empty() }
 func (c ubCore[T]) Kind() ringcore.Kind { return c.q.kind }
 
 // Stats snapshots the queue's metrics sink: the linked rings record

@@ -207,6 +207,16 @@ func (h *QueueHandle[T]) EnqueueSealed(v T) bool {
 	return h.Enqueue(v)
 }
 
+// Empty reports that the queue held no value at some instant during
+// the call: aq's head counter had caught up with its tail counter, so
+// every enqueued value had been claimed by a dequeue. The probe is
+// one-sided (a concurrent enqueue may land right after), which is the
+// guarantee the blocking facade's direct handoff needs — handing a
+// value past the ring is FIFO-safe iff nothing unclaimed precedes it.
+//
+//wfq:noalloc
+func (q *Queue[T]) Empty() bool { return q.aq.Drained() }
+
 // Cap returns the queue capacity.
 //
 //wfq:noalloc

@@ -69,6 +69,7 @@ type options struct {
 	unboundedShards bool
 	metrics         *metrics.Sink
 	wait            *backoff.Strategy
+	handoff         ringcore.HandoffMode
 }
 
 // core translates the accumulated options into the shared ring-core
@@ -81,6 +82,7 @@ func (o options) core() *ringcore.Options {
 		HelpDelay:   o.helpDelay,
 		Metrics:     o.metrics,
 		Wait:        o.wait,
+		Handoff:     o.handoff,
 	}
 }
 
@@ -167,6 +169,24 @@ func WaitStrategyByName(name string) (*WaitStrategy, error) { return backoff.ByN
 // operations ignore this option.
 func WithWaitStrategy(s *WaitStrategy) Option {
 	return func(o *options) { o.wait = s }
+}
+
+// WithHandoff enables or disables NewChan's direct-handoff rendezvous
+// path (enabled by default): a Send that finds a receiver already
+// waiting on a verifiably empty Chan publishes the value straight into
+// the waiter's transfer cell instead of crossing the ring, and a Recv
+// that frees a slot while senders wait completes a parked sender's
+// pending enqueue directly. Disabling pins the pre-handoff ring path —
+// the A/B baseline the h1 figure and the perf smoke compare against.
+// Constructors without blocking operations ignore this option.
+func WithHandoff(enabled bool) Option {
+	return func(o *options) {
+		if enabled {
+			o.handoff = ringcore.HandoffOn
+		} else {
+			o.handoff = ringcore.HandoffOff
+		}
+	}
 }
 
 // WithShards sets the shard count for NewSharded (default 4). The
